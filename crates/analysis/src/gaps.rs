@@ -1,0 +1,164 @@
+//! Vacancy-gap analysis: randomized vs synchronized wakeups (Figures 3–5).
+//!
+//! Section 2.1.1 argues that deterministic, synchronized sleeping (as in
+//! GAF/SPAN-style schemes) leaves large coverage "gaps" when a working node
+//! fails *before* its predicted lifetime: nobody wakes until the scheduled
+//! re-election. PEAS's randomized wakeups are memoryless — after any death
+//! the next prober arrives in `Exp(Λ)` regardless of when the death
+//! happened.
+//!
+//! This module models one sensing spot through repeated work/replace
+//! cycles and measures the vacancy gap per cycle under both policies.
+
+use peas_des::rng::SimRng;
+
+/// Parameters of the single-spot replacement model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GapModel {
+    /// A working node's energy-limited lifetime (the *predictable* part),
+    /// seconds — ~5000 s with the paper's batteries.
+    pub expected_lifetime: f64,
+    /// Probability that the node instead fails unexpectedly, uniformly
+    /// within its lifetime.
+    pub failure_prob: f64,
+    /// Aggregate probing rate Λ of the sleeping pool (λd = 0.02/s in the
+    /// paper).
+    pub aggregate_rate: f64,
+}
+
+impl GapModel {
+    /// The paper-flavoured default: 5000 s lifetime, Λ = λd = 0.02/s.
+    pub fn paper(failure_prob: f64) -> GapModel {
+        GapModel {
+            expected_lifetime: 5000.0,
+            failure_prob,
+            aggregate_rate: 0.02,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.expected_lifetime > 0.0,
+            "expected_lifetime must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.failure_prob),
+            "failure_prob must be a probability"
+        );
+        assert!(self.aggregate_rate > 0.0, "aggregate_rate must be positive");
+    }
+
+    /// Draws the instant (within one cycle) at which the working node dies.
+    fn death_time(&self, rng: &mut SimRng) -> f64 {
+        if rng.bernoulli(self.failure_prob) {
+            rng.range_f64(0.0, self.expected_lifetime)
+        } else {
+            self.expected_lifetime
+        }
+    }
+}
+
+/// Per-cycle vacancy gaps under PEAS-style randomized wakeups: memoryless,
+/// so every gap is `Exp(Λ)` (Figure 5).
+pub fn randomized_gaps(model: GapModel, cycles: usize, seed: u64) -> Vec<f64> {
+    model.validate();
+    assert!(cycles > 0, "need at least one cycle");
+    let mut rng = SimRng::stream(seed, 0x6A50);
+    (0..cycles)
+        .map(|_| {
+            let _death = model.death_time(&mut rng); // timing is irrelevant
+            rng.exp_secs(model.aggregate_rate)
+        })
+        .collect()
+}
+
+/// Per-cycle vacancy gaps under synchronized sleeping: sleepers wake at the
+/// predicted expiry, so an early failure at time `f` leaves a gap of
+/// `T − f` (Figure 4); an on-schedule death leaves none.
+pub fn synchronized_gaps(model: GapModel, cycles: usize, seed: u64) -> Vec<f64> {
+    model.validate();
+    assert!(cycles > 0, "need at least one cycle");
+    let mut rng = SimRng::stream(seed, 0x5CED);
+    (0..cycles)
+        .map(|_| model.expected_lifetime - model.death_time(&mut rng))
+        .collect()
+}
+
+/// Convenience: mean gap under both policies, `(randomized, synchronized)`.
+pub fn mean_gaps(model: GapModel, cycles: usize, seed: u64) -> (f64, f64) {
+    let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    (
+        mean(randomized_gaps(model, cycles, seed)),
+        mean(synchronized_gaps(model, cycles, seed)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomized_gap_mean_is_one_over_rate() {
+        let model = GapModel::paper(0.5);
+        let gaps = randomized_gaps(model, 50_000, 1);
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 50.0).abs() < 1.5, "mean {mean}, expected 1/Λ = 50");
+    }
+
+    #[test]
+    fn synchronized_gap_grows_with_failure_probability() {
+        // E[gap] = p * T/2.
+        for p in [0.1, 0.38] {
+            let model = GapModel::paper(p);
+            let gaps = synchronized_gaps(model, 50_000, 2);
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let expected = p * 2500.0;
+            assert!(
+                (mean - expected).abs() / expected < 0.05,
+                "p={p}: mean {mean} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_beats_synchronized_under_failures() {
+        // At the paper's maximum failure severity (38% of nodes fail),
+        // synchronized gaps dwarf randomized ones.
+        let model = GapModel::paper(0.38);
+        let (rand_mean, sync_mean) = mean_gaps(model, 20_000, 3);
+        assert!(
+            sync_mean > 10.0 * rand_mean,
+            "randomized {rand_mean} vs synchronized {sync_mean}"
+        );
+    }
+
+    #[test]
+    fn synchronized_wins_without_failures() {
+        // With perfectly predictable lifetimes the deterministic schedule
+        // leaves no gap at all; randomized still pays 1/Λ. This is exactly
+        // why the schemes PEAS compares against chose synchronization — it
+        // is only under unpredictable failures that it breaks down.
+        let model = GapModel::paper(0.0);
+        let (rand_mean, sync_mean) = mean_gaps(model, 10_000, 4);
+        assert_eq!(sync_mean, 0.0);
+        assert!(rand_mean > 0.0);
+    }
+
+    #[test]
+    fn randomized_gap_is_failure_time_independent() {
+        // The mean randomized gap must not depend on failure probability.
+        let g0 = randomized_gaps(GapModel::paper(0.0), 30_000, 5);
+        let g9 = randomized_gaps(GapModel::paper(0.9), 30_000, 5);
+        let m0 = g0.iter().sum::<f64>() / g0.len() as f64;
+        let m9 = g9.iter().sum::<f64>() / g9.len() as f64;
+        assert!((m0 - m9).abs() < 2.0, "{m0} vs {m9}");
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_prob must be a probability")]
+    fn invalid_probability_rejected() {
+        let mut m = GapModel::paper(0.5);
+        m.failure_prob = 1.5;
+        let _ = randomized_gaps(m, 10, 1);
+    }
+}

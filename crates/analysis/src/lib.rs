@@ -1,0 +1,40 @@
+//! # peas-analysis — statistics and analytical reproductions
+//!
+//! The measurement toolkit for the PEAS (ICDCS 2003) reproduction:
+//!
+//! * [`stats`] — sample summaries, 95% confidence intervals and linear fits
+//!   (for the "grows almost linearly" claims of Figures 9–11);
+//! * [`series`] — [`TimeSeries`] with the paper's Section 5.2 lifetime
+//!   extraction rule (first sustained drop below the 90% threshold);
+//! * [`poisson`] — the Section 2.2.1 estimator-accuracy study: how the
+//!   `k`-PROBE rate estimate tightens with `k`, empirically and by CLT;
+//! * [`gaps`] — the Figures 3–5 vacancy analysis: randomized vs
+//!   synchronized wakeups under unexpected failures;
+//! * [`connectivity`] — empirical validation of the Section 3 theory
+//!   (`Rt ≥ (1 + √5)·Rp` ⇒ connected working set).
+//!
+//! # Example
+//!
+//! ```
+//! use peas_analysis::TimeSeries;
+//!
+//! // A 4-coverage trace: boots up, holds, then dies.
+//! let cov: TimeSeries = [(0.0, 0.1), (50.0, 0.99), (5000.0, 0.97), (5050.0, 0.4)]
+//!     .into_iter()
+//!     .collect();
+//! assert_eq!(cov.lifetime_above(0.9), Some(5050.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod gaps;
+pub mod poisson;
+pub mod series;
+pub mod stats;
+
+pub use connectivity::{check_working_set, ConnectivityCheck};
+pub use gaps::{mean_gaps, randomized_gaps, synchronized_gaps, GapModel};
+pub use series::TimeSeries;
+pub use stats::{linear_fit, LinearFit, Summary};

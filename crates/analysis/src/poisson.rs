@@ -1,0 +1,148 @@
+//! The Section 2.2.1 estimator-accuracy study.
+//!
+//! The paper argues via the central limit theorem that measuring the
+//! aggregate probing rate over `k ≥ 16` PROBE inter-arrivals yields an
+//! average interval within 1% of the truth with over 99% confidence, and
+//! selects `k = 32` for margin. These helpers regenerate that analysis
+//! empirically: they synthesize Poisson probe streams and report how the
+//! `k/T` estimator's error distribution tightens with `k`.
+
+use peas_des::rng::SimRng;
+
+/// Relative errors `|λ̂ − λ| / λ` of `trials` independent `k`-probe
+/// estimates over a Poisson process with the given `rate`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `rate <= 0`, or `trials == 0`.
+pub fn estimator_errors(k: u32, rate: f64, trials: usize, seed: u64) -> Vec<f64> {
+    assert!(k > 0, "k must be positive");
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = SimRng::stream(seed, 0x9A15);
+    (0..trials)
+        .map(|_| {
+            // Sum of k exponential inter-arrivals = the window duration T;
+            // the estimator is λ̂ = k / T.
+            let t: f64 = (0..k).map(|_| rng.exp_secs(rate)).sum();
+            let estimate = k as f64 / t;
+            (estimate - rate).abs() / rate
+        })
+        .collect()
+}
+
+/// Fraction of `k`-probe estimates whose *average interval* falls within
+/// `tolerance` (relative) of the true mean interval — the quantity the
+/// paper's CLT argument bounds.
+///
+/// Note the distinction: the paper reasons about the measured average
+/// interval `T/k` (which is unbiased), not the rate `k/T`.
+pub fn interval_confidence(k: u32, rate: f64, tolerance: f64, trials: usize, seed: u64) -> f64 {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut rng = SimRng::stream(seed, 0x1A7E);
+    let true_interval = 1.0 / rate;
+    let within = (0..trials)
+        .filter(|_| {
+            let t: f64 = (0..k).map(|_| rng.exp_secs(rate)).sum();
+            let avg_interval = t / k as f64;
+            (avg_interval - true_interval).abs() / true_interval <= tolerance
+        })
+        .count();
+    within as f64 / trials as f64
+}
+
+/// The CLT prediction for [`interval_confidence`]: for exponential
+/// inter-arrivals the average of `k` has relative standard deviation
+/// `1/√k`, so `P(|error| ≤ tol) ≈ erf(tol·√k/√2)`.
+pub fn clt_confidence(k: u32, tolerance: f64) -> f64 {
+    erf(tolerance * (k as f64).sqrt() / std::f64::consts::SQRT_2)
+}
+
+/// Abramowitz–Stegun 7.1.26 rational approximation of the error function
+/// (|error| < 1.5e-7), sufficient for the confidence comparisons here.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_shrink_with_k() {
+        let mean_err = |k| {
+            let errs = estimator_errors(k, 0.02, 4000, 7);
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let e4 = mean_err(4);
+        let e16 = mean_err(16);
+        let e64 = mean_err(64);
+        assert!(e4 > e16 && e16 > e64, "errors {e4} {e16} {e64}");
+        // Roughly 1/sqrt(k) scaling: quadrupling k should halve the error.
+        assert!((e16 / e64 - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn k32_estimates_are_tight() {
+        let errs = estimator_errors(32, 0.02, 4000, 11);
+        // Relative std at k = 32 is ~1/sqrt(32) ≈ 18%; errors above 50%
+        // (nearly 3 sigma) should be rare.
+        let within_half = errs.iter().filter(|&&e| e < 0.5).count() as f64 / errs.len() as f64;
+        assert!(within_half > 0.95, "k=32 errors exceed 50% too often: {within_half}");
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0) - 0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empirical_confidence_matches_clt() {
+        // 10% tolerance at k = 32: CLT predicts erf(0.1*sqrt(32)/sqrt(2)).
+        let empirical = interval_confidence(32, 0.02, 0.1, 20_000, 3);
+        let predicted = clt_confidence(32, 0.1);
+        assert!(
+            (empirical - predicted).abs() < 0.02,
+            "empirical {empirical} vs CLT {predicted}"
+        );
+    }
+
+    #[test]
+    fn confidence_increases_with_k() {
+        let c8 = interval_confidence(8, 0.02, 0.1, 10_000, 5);
+        let c32 = interval_confidence(32, 0.02, 0.1, 10_000, 5);
+        let c128 = interval_confidence(128, 0.02, 0.1, 10_000, 5);
+        assert!(c8 < c32 && c32 < c128, "{c8} {c32} {c128}");
+    }
+
+    #[test]
+    fn paper_claim_requires_large_k_for_1_percent() {
+        // The paper's "k >= 16 gives 1% error with 99% confidence" reads as
+        // an application of the CLT; at 1% tolerance the CLT actually needs
+        // k ~ 66000 (erf(0.01*sqrt(k)/sqrt(2)) = 0.99 => sqrt(k) ~ 258).
+        // Document the discrepancy: at k = 16, 1%-confidence is only ~3%.
+        let c = clt_confidence(16, 0.01);
+        assert!(c < 0.05, "k=16 at 1% tolerance is far below 99%: {c}");
+        // What k = 32 *does* deliver: ~1% relative error as the typical
+        // (standard) deviation, i.e. 1/sqrt(k) scale accuracy at ~18%.
+        let typical = 1.0 / 32.0f64.sqrt();
+        assert!((0.1..0.25).contains(&typical));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = estimator_errors(0, 1.0, 10, 1);
+    }
+}

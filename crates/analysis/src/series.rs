@@ -1,0 +1,250 @@
+//! Time series and lifetime extraction.
+//!
+//! Section 5.2 defines the lifetimes this module computes:
+//! * "The lifetime of K-coverage is the time duration from the beginning
+//!   until K-coverage drops below a threshold value" (90%);
+//! * "Data delivery lifetime is defined as the time when the data success
+//!   ratio drops below a threshold" (90%).
+//!
+//! Both metrics start below the threshold (no node works at t = 0; the
+//! first reports can be lost during boot), so the crossing that *ends* the
+//! lifetime is the first sustained drop **after** the metric first reached
+//! the threshold.
+
+/// A sampled scalar over simulated time (seconds).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Builds a series from `(time, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timestamps are not strictly increasing or values are not
+    /// finite.
+    pub fn from_points(points: Vec<(f64, f64)>) -> TimeSeries {
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "timestamps must be strictly increasing");
+        }
+        assert!(
+            points.iter().all(|p| p.0.is_finite() && p.1.is_finite()),
+            "series contains non-finite entries"
+        );
+        TimeSeries { points }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not advance or inputs are non-finite.
+    pub fn push(&mut self, t: f64, value: f64) {
+        assert!(t.is_finite() && value.is_finite(), "non-finite sample");
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t > last, "timestamps must be strictly increasing");
+        }
+        self.points.push((t, value));
+    }
+
+    /// The raw samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// The largest value observed.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// The paper's lifetime rule: the time of the first *sustained* drop
+    /// below `threshold` after the series first reached `threshold`.
+    ///
+    /// "Sustained" means the value never climbs back to the threshold in
+    /// any later sample — transient dips from random factors (the paper's
+    /// "few abnormal points") do not end a lifetime. Returns:
+    ///
+    /// * `None` if the series never reaches `threshold` (the system never
+    ///   functioned);
+    /// * the time of the ending sample otherwise; if the value is still at
+    ///   or above threshold at the last sample, the last sample's time (the
+    ///   system outlived the observation window).
+    pub fn lifetime_above(&self, threshold: f64) -> Option<f64> {
+        let first_reach = self.points.iter().position(|&(_, v)| v >= threshold)?;
+        // Last index at or above the threshold.
+        let last_ok = self
+            .points
+            .iter()
+            .rposition(|&(_, v)| v >= threshold)
+            .expect("first_reach exists");
+        debug_assert!(last_ok >= first_reach);
+        if last_ok == self.points.len() - 1 {
+            // Still above at the end of observation.
+            Some(self.points[last_ok].0)
+        } else {
+            // The sample after last_ok is the sustained drop.
+            Some(self.points[last_ok + 1].0)
+        }
+    }
+
+    /// Linearly interpolated value at `t` (clamped to the observed range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    pub fn value_at(&self, t: f64) -> f64 {
+        assert!(!self.points.is_empty(), "empty series");
+        if t <= self.points[0].0 {
+            return self.points[0].1;
+        }
+        if t >= self.points[self.points.len() - 1].0 {
+            return self.points[self.points.len() - 1].1;
+        }
+        let idx = self
+            .points
+            .partition_point(|&(pt, _)| pt <= t);
+        let (t0, v0) = self.points[idx - 1];
+        let (t1, v1) = self.points[idx];
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> TimeSeries {
+        TimeSeries::from_points(iter.into_iter().collect())
+    }
+}
+
+impl Extend<(f64, f64)> for TimeSeries {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[(f64, f64)]) -> TimeSeries {
+        TimeSeries::from_points(vals.to_vec())
+    }
+
+    #[test]
+    fn lifetime_simple_drop() {
+        let s = series(&[
+            (0.0, 0.2),
+            (10.0, 0.95),
+            (20.0, 0.97),
+            (30.0, 0.85),
+            (40.0, 0.5),
+        ]);
+        assert_eq!(s.lifetime_above(0.9), Some(30.0));
+    }
+
+    #[test]
+    fn lifetime_ignores_boot_phase() {
+        // Starts below threshold (boot), reaches it, then drops.
+        let s = series(&[(0.0, 0.0), (10.0, 0.5), (20.0, 0.95), (30.0, 0.3)]);
+        assert_eq!(s.lifetime_above(0.9), Some(30.0));
+    }
+
+    #[test]
+    fn lifetime_none_if_never_reached() {
+        let s = series(&[(0.0, 0.1), (10.0, 0.5), (20.0, 0.85)]);
+        assert_eq!(s.lifetime_above(0.9), None);
+    }
+
+    #[test]
+    fn lifetime_survives_transient_dips() {
+        // Dip at t=20 recovers at t=30: the sustained drop is at t=50.
+        let s = series(&[
+            (0.0, 0.95),
+            (10.0, 0.96),
+            (20.0, 0.7),
+            (30.0, 0.93),
+            (40.0, 0.91),
+            (50.0, 0.4),
+            (60.0, 0.2),
+        ]);
+        assert_eq!(s.lifetime_above(0.9), Some(50.0));
+    }
+
+    #[test]
+    fn lifetime_open_ended_at_observation_end() {
+        let s = series(&[(0.0, 0.95), (10.0, 0.96), (20.0, 0.92)]);
+        assert_eq!(s.lifetime_above(0.9), Some(20.0));
+    }
+
+    #[test]
+    fn lifetime_threshold_is_inclusive() {
+        let s = series(&[(0.0, 0.9), (10.0, 0.8999)]);
+        assert_eq!(s.lifetime_above(0.9), Some(10.0));
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let s = series(&[(0.0, 0.0), (10.0, 1.0)]);
+        assert_eq!(s.value_at(5.0), 0.5);
+        assert_eq!(s.value_at(-1.0), 0.0);
+        assert_eq!(s.value_at(11.0), 1.0);
+        assert_eq!(s.value_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn push_enforces_monotone_time() {
+        let mut s = TimeSeries::new();
+        s.push(1.0, 0.5);
+        s.push(2.0, 0.6);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some((2.0, 0.6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_rejects_time_regression() {
+        let mut s = TimeSeries::new();
+        s.push(2.0, 0.5);
+        s.push(1.0, 0.6);
+    }
+
+    #[test]
+    fn max_value_and_emptiness() {
+        assert_eq!(TimeSeries::new().max_value(), None);
+        assert!(TimeSeries::new().is_empty());
+        let s = series(&[(0.0, 0.3), (1.0, 0.9), (2.0, 0.7)]);
+        assert_eq!(s.max_value(), Some(0.9));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: TimeSeries = (0..5).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.value_at(2.0), 4.0);
+    }
+}

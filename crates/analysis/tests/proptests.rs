@@ -1,0 +1,119 @@
+//! Property-based tests for the analysis toolkit.
+
+use proptest::prelude::*;
+
+use peas_analysis::{linear_fit, Summary, TimeSeries};
+
+fn arb_series() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(0.0f64..1.0, 1..60).prop_map(|vals| {
+        vals.into_iter()
+            .enumerate()
+            .map(|(i, v)| (i as f64 * 10.0, v))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Summary invariants: min <= mean <= max, std_dev >= 0, CI shrinks
+    /// with larger n for the same distribution parameters.
+    #[test]
+    fn summary_invariants(values in prop::collection::vec(-100.0f64..100.0, 1..200)) {
+        let s = Summary::from_slice(&values);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, values.len());
+        prop_assert!(s.ci95_half_width() >= 0.0);
+    }
+
+    /// Shifting a sample shifts the mean and leaves the deviation alone.
+    #[test]
+    fn summary_shift_equivariance(
+        values in prop::collection::vec(-10.0f64..10.0, 2..100),
+        shift in -50.0f64..50.0,
+    ) {
+        let a = Summary::from_slice(&values);
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let b = Summary::from_slice(&shifted);
+        prop_assert!((b.mean - (a.mean + shift)).abs() < 1e-9);
+        prop_assert!((b.std_dev - a.std_dev).abs() < 1e-9);
+    }
+
+    /// A linear fit of exactly linear data recovers slope and intercept.
+    #[test]
+    fn fit_recovers_lines(slope in -10.0f64..10.0, intercept in -10.0f64..10.0, n in 2usize..50) {
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| (i as f64, slope * i as f64 + intercept))
+            .collect();
+        let fit = linear_fit(&pts);
+        prop_assert!((fit.slope - slope).abs() < 1e-6);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    /// R² stays in [0, 1] for arbitrary data.
+    #[test]
+    fn r_squared_is_bounded(pts in prop::collection::vec((0.0f64..100.0, -50.0f64..50.0), 2..80)) {
+        // Need at least two distinct x values.
+        let mut pts = pts;
+        pts[0].0 = 0.0;
+        let last = pts.len() - 1;
+        pts[last].0 = 1000.0;
+        let fit = linear_fit(&pts);
+        prop_assert!((0.0..=1.0).contains(&fit.r_squared));
+    }
+
+    /// Lifetime extraction: the result is always one of the sample times,
+    /// never before the first time the threshold was reached, and the
+    /// value at every earlier above-threshold sample really was above.
+    #[test]
+    fn lifetime_is_a_sample_time(points in arb_series(), threshold in 0.1f64..0.9) {
+        let series = TimeSeries::from_points(points.clone());
+        match series.lifetime_above(threshold) {
+            None => {
+                prop_assert!(points.iter().all(|&(_, v)| v < threshold));
+            }
+            Some(t) => {
+                prop_assert!(points.iter().any(|&(pt, _)| (pt - t).abs() < 1e-9));
+                let first_reach = points
+                    .iter()
+                    .find(|&&(_, v)| v >= threshold)
+                    .map(|&(pt, _)| pt)
+                    .expect("some point reached the threshold");
+                prop_assert!(t >= first_reach);
+                // Everything after t is strictly below the threshold (the
+                // drop is sustained), unless t is the final sample.
+                if (t - points.last().unwrap().0).abs() > 1e-9 {
+                    for &(pt, v) in &points {
+                        if pt >= t {
+                            prop_assert!(v < threshold);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interpolation stays within the hull of neighboring values.
+    #[test]
+    fn interpolation_is_bounded(points in arb_series(), t in -10.0f64..700.0) {
+        let series = TimeSeries::from_points(points.clone());
+        let v = series.value_at(t);
+        let lo = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    /// Raising the threshold never lengthens a lifetime.
+    #[test]
+    fn lifetime_monotone_in_threshold(points in arb_series(), t1 in 0.1f64..0.5, dt in 0.0f64..0.4) {
+        let series = TimeSeries::from_points(points);
+        let low = series.lifetime_above(t1);
+        let high = series.lifetime_above(t1 + dt);
+        match (low, high) {
+            (None, Some(_)) => prop_assert!(false, "higher threshold reached but lower not"),
+            (Some(l), Some(h)) => prop_assert!(h <= l + 1e-9),
+            _ => {}
+        }
+    }
+}

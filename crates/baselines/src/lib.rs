@@ -1,0 +1,40 @@
+//! # peas-baselines — the sleep schedulers PEAS is compared against
+//!
+//! Reproduces the comparison points of the PEAS paper (ICDCS 2003):
+//!
+//! * [`AlwaysOn`] — no sleep scheduling: lifetime is one battery,
+//!   regardless of deployment size (the motivation for everything else);
+//! * [`SynchronizedRounds`] — the deterministic elect-and-doze pattern of
+//!   GAF/SPAN-style schemes as characterized in Section 2.1.1, which
+//!   leaves Figure 4's "big gaps" when nodes fail unexpectedly;
+//! * [`GafGrid`] — a GAF-like geographic-cell leader rotation;
+//! * [`AfecaLike`] — AFECA-style independent duty cycling, with sleep
+//!   periods proportional to the neighbor count.
+//!
+//! These run on a coarse awake-set/energy/coverage simulator
+//! ([`BaselineScenario`]); see the module docs of [`scenario`] for why
+//! that is the right level of abstraction for the comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use peas_baselines::{AlwaysOn, BaselineScenario, SleepScheduler};
+//!
+//! let mut scenario = BaselineScenario::paper(80);
+//! scenario.coverage_resolution = 2.5; // coarse, for a fast doctest
+//! scenario.step_secs = 50.0;
+//! let report = AlwaysOn.run(&scenario, 7);
+//! // All nodes awake from t = 0: the network covers the field immediately
+//! // but dies when the first batteries drain (4500-5000 s).
+//! let lifetime = report.coverage_lifetime(1, 0.9);
+//! assert!((4000.0..5500.0).contains(&lifetime));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+pub mod schedulers;
+
+pub use scenario::{BaselineReport, BaselineScenario};
+pub use schedulers::{AfecaLike, AlwaysOn, GafGrid, SleepScheduler, SynchronizedRounds};

@@ -1,0 +1,281 @@
+//! The shared scenario and report types for baseline sleep schedulers.
+//!
+//! The baselines (always-on, synchronized rounds, GAF-style grid) exist to
+//! reproduce the *comparisons* the paper makes in Sections 1, 2.1.1 and 6 —
+//! lifetime extension versus no scheduling, and robustness versus
+//! deterministic synchronized wakeups. They run on a coarse time-stepped
+//! simulator (energy + failures + coverage), not the packet-level radio:
+//! what distinguishes the schemes is *which nodes are awake when*, not
+//! their MAC behaviour. PEAS itself runs in the full `peas-sim` simulator;
+//! comparisons against these baselines are apples-to-apples on the energy
+//! and coverage model.
+
+use peas_des::rng::SimRng;
+use peas_geom::{CoverageGrid, Deployment, Field, Point};
+
+/// Energy/coverage scenario shared by all baseline schedulers.
+#[derive(Clone, Debug)]
+pub struct BaselineScenario {
+    /// The deployment field.
+    pub field: Field,
+    /// Number of deployed sensors.
+    pub node_count: usize,
+    /// Placement strategy.
+    pub deployment: Deployment,
+    /// Sensing range for coverage, meters.
+    pub sensing_range: f64,
+    /// Minimum separation the scheduler should aim for between awake
+    /// nodes (PEAS's `Rp`; GAF derives its cell size from it).
+    pub separation: f64,
+    /// Battery, joules (uniform in the range, like the paper's 54–60 J).
+    pub battery_range: (f64, f64),
+    /// Awake (idle/rx) draw, mW.
+    pub idle_mw: f64,
+    /// Sleep draw, mW.
+    pub sleep_mw: f64,
+    /// Failures per 5000 s (0 = failure-free).
+    pub failure_rate_per_5000s: f64,
+    /// Simulation step, seconds.
+    pub step_secs: f64,
+    /// Hard stop, seconds.
+    pub horizon_secs: f64,
+    /// Coverage lattice resolution, meters.
+    pub coverage_resolution: f64,
+    /// Highest K-coverage recorded.
+    pub max_k: u32,
+}
+
+impl BaselineScenario {
+    /// The paper's setting: 50 × 50 m, 10 m sensing, `Rp` = 3 m, Motes
+    /// power, 54–60 J batteries.
+    pub fn paper(node_count: usize) -> BaselineScenario {
+        BaselineScenario {
+            field: Field::paper(),
+            node_count,
+            deployment: Deployment::Uniform,
+            sensing_range: 10.0,
+            separation: 3.0,
+            battery_range: (54.0, 60.0),
+            idle_mw: 12.0,
+            sleep_mw: 0.03,
+            failure_rate_per_5000s: 0.0,
+            step_secs: 10.0,
+            horizon_secs: 80_000.0,
+            coverage_resolution: 1.0,
+            max_k: 5,
+        }
+    }
+
+    /// Sets the failure rate, builder-style.
+    pub fn with_failures(mut self, per_5000s: f64) -> BaselineScenario {
+        self.failure_rate_per_5000s = per_5000s;
+        self
+    }
+}
+
+/// What one baseline run produced.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// `(t, k_coverages[1..=max_k])` snapshots.
+    pub samples: Vec<(f64, Vec<f64>)>,
+    /// Awake-set size over time.
+    pub awake_counts: Vec<(f64, usize)>,
+    /// Failures injected.
+    pub failures: u64,
+    /// Nodes dead of energy depletion.
+    pub energy_deaths: u64,
+    /// When the run ended.
+    pub end_secs: f64,
+}
+
+impl BaselineReport {
+    /// K-coverage lifetime at `threshold` (same extraction rule as the
+    /// PEAS reports: first sustained drop after first reaching it).
+    pub fn coverage_lifetime(&self, k: u32, threshold: f64) -> f64 {
+        assert!(k >= 1, "k must be at least 1");
+        let series: peas_analysis::TimeSeries = self
+            .samples
+            .iter()
+            .map(|(t, covs)| (*t, covs[(k - 1) as usize]))
+            .collect();
+        series.lifetime_above(threshold).unwrap_or(0.0)
+    }
+
+    /// Mean awake-set size over the functioning phase.
+    pub fn mean_awake(&self) -> f64 {
+        if self.awake_counts.is_empty() {
+            return 0.0;
+        }
+        self.awake_counts.iter().map(|&(_, n)| n as f64).sum::<f64>()
+            / self.awake_counts.len() as f64
+    }
+}
+
+/// Shared node state for the stepped simulators.
+pub(crate) struct SteppedNode {
+    pub pos: Point,
+    pub battery_j: f64,
+    pub alive: bool,
+    pub awake: bool,
+}
+
+/// Common driver: the scheduler supplies a `decide` callback invoked each
+/// step to set the awake flags; the driver handles deployment, energy,
+/// failures and coverage sampling.
+pub(crate) fn run_stepped<F>(
+    scenario: &BaselineScenario,
+    seed: u64,
+    mut decide: F,
+) -> BaselineReport
+where
+    F: FnMut(f64, &mut [SteppedNode], &mut SimRng),
+{
+    let mut deploy_rng = SimRng::stream(seed, 1);
+    let mut battery_rng = SimRng::stream(seed, 2);
+    let mut failure_rng = SimRng::stream(seed, 3);
+    let mut decide_rng = SimRng::stream(seed, 4);
+
+    let positions = scenario
+        .deployment
+        .generate(scenario.field, scenario.node_count, &mut deploy_rng);
+    let mut nodes: Vec<SteppedNode> = positions
+        .into_iter()
+        .map(|pos| SteppedNode {
+            pos,
+            battery_j: battery_rng.range_f64(scenario.battery_range.0, scenario.battery_range.1),
+            alive: true,
+            awake: false,
+        })
+        .collect();
+
+    let coverage = CoverageGrid::new(scenario.field, scenario.coverage_resolution);
+    let failure_per_step =
+        scenario.failure_rate_per_5000s / 5000.0 * scenario.step_secs;
+
+    let mut samples = Vec::new();
+    let mut awake_counts = Vec::new();
+    let mut failures = 0u64;
+    let mut energy_deaths = 0u64;
+    let mut t = 0.0;
+    while t < scenario.horizon_secs {
+        // Failures: Poisson-thinned per step.
+        let mut expected = failure_per_step;
+        while expected > 0.0 {
+            let p = expected.min(1.0);
+            if failure_rng.bernoulli(p) {
+                let alive: Vec<usize> =
+                    (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
+                if let Some(&victim) = failure_rng.choose(&alive) {
+                    nodes[victim].alive = false;
+                    nodes[victim].awake = false;
+                    failures += 1;
+                }
+            }
+            expected -= 1.0;
+        }
+
+        decide(t, &mut nodes, &mut decide_rng);
+
+        // Energy integration over the step.
+        for node in nodes.iter_mut().filter(|n| n.alive) {
+            let mw = if node.awake {
+                scenario.idle_mw
+            } else {
+                scenario.sleep_mw
+            };
+            node.battery_j -= mw * 1e-3 * scenario.step_secs;
+            if node.battery_j <= 0.0 {
+                node.alive = false;
+                node.awake = false;
+                energy_deaths += 1;
+            }
+        }
+
+        let awake: Vec<Point> = nodes
+            .iter()
+            .filter(|n| n.alive && n.awake)
+            .map(|n| n.pos)
+            .collect();
+        let covs = coverage.k_coverages(&awake, scenario.sensing_range, scenario.max_k);
+        samples.push((t, covs));
+        awake_counts.push((t, awake.len()));
+
+        if nodes.iter().all(|n| !n.alive) {
+            break;
+        }
+        t += scenario.step_secs;
+    }
+
+    BaselineReport {
+        samples,
+        awake_counts,
+        failures,
+        energy_deaths,
+        end_secs: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_defaults() {
+        let s = BaselineScenario::paper(160);
+        assert_eq!(s.node_count, 160);
+        assert_eq!(s.idle_mw, 12.0);
+        assert_eq!(s.failure_rate_per_5000s, 0.0);
+        let s = s.with_failures(10.66);
+        assert_eq!(s.failure_rate_per_5000s, 10.66);
+    }
+
+    #[test]
+    fn stepped_driver_respects_horizon_and_energy() {
+        let mut s = BaselineScenario::paper(60);
+        s.horizon_secs = 100.0;
+        // Everyone always awake.
+        let report = run_stepped(&s, 1, |_, nodes, _| {
+            for n in nodes.iter_mut() {
+                n.awake = n.alive;
+            }
+        });
+        assert!(report.end_secs <= 100.0);
+        assert_eq!(report.failures, 0);
+        assert!(report.samples.len() >= 9);
+        // Coverage with all 60 awake should be near-total at 10 m sensing.
+        let (_, covs) = &report.samples[5];
+        assert!(covs[0] > 0.95, "1-coverage {covs:?}");
+    }
+
+    #[test]
+    fn failures_reduce_population() {
+        let mut s = BaselineScenario::paper(50).with_failures(500.0);
+        s.horizon_secs = 2_000.0;
+        let report = run_stepped(&s, 3, |_, nodes, _| {
+            for n in nodes.iter_mut() {
+                n.awake = n.alive;
+            }
+        });
+        // 500 per 5000 s = 0.1/s; the 50-node population is wiped out by
+        // failures well before the horizon.
+        assert!(report.failures >= 40, "failures {}", report.failures);
+        assert!(report.end_secs < 2_000.0, "ended {}", report.end_secs);
+    }
+
+    #[test]
+    fn lifetime_extraction_from_report() {
+        let report = BaselineReport {
+            samples: vec![
+                (0.0, vec![0.95; 5]),
+                (10.0, vec![0.96; 5]),
+                (20.0, vec![0.5; 5]),
+            ],
+            awake_counts: vec![(0.0, 10), (10.0, 10), (20.0, 2)],
+            failures: 0,
+            energy_deaths: 8,
+            end_secs: 20.0,
+        };
+        assert_eq!(report.coverage_lifetime(1, 0.9), 20.0);
+        assert!((report.mean_awake() - 22.0 / 3.0).abs() < 1e-12);
+    }
+}

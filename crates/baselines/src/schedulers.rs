@@ -1,0 +1,418 @@
+//! The baseline sleep schedulers PEAS is compared against.
+//!
+//! * [`AlwaysOn`] — no scheduling at all: every alive node stays awake.
+//!   The network dies when the first generation of batteries runs out
+//!   (~4500–5000 s with the paper's parameters) no matter how many nodes
+//!   were deployed — the strawman that motivates sleep scheduling.
+//! * [`SynchronizedRounds`] — the deterministic approach of GAF/SPAN-style
+//!   schemes as characterized in Section 2.1.1: a working set is elected,
+//!   sleepers doze for the workers' *predicted* lifetime, and everybody
+//!   re-elects at the round boundary. Robust to battery depletion, but an
+//!   unexpected failure leaves its area uncovered until the boundary
+//!   (Figure 4's "big gaps").
+//! * [`GafGrid`] — a GAF-like geographic variant: the field is divided
+//!   into fixed cells and each cell keeps exactly one leader awake,
+//!   rotating leadership at round boundaries; a failed leader is only
+//!   replaced at the next boundary.
+
+use peas_des::rng::SimRng;
+use crate::scenario::{run_stepped, BaselineReport, BaselineScenario, SteppedNode};
+
+/// A baseline sleep-scheduling policy.
+pub trait SleepScheduler {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the policy on `scenario` with the given seed.
+    fn run(&self, scenario: &BaselineScenario, seed: u64) -> BaselineReport;
+}
+
+/// Every alive node is awake all the time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlwaysOn;
+
+impl SleepScheduler for AlwaysOn {
+    fn name(&self) -> &'static str {
+        "always-on"
+    }
+
+    fn run(&self, scenario: &BaselineScenario, seed: u64) -> BaselineReport {
+        run_stepped(scenario, seed, |_, nodes, _| {
+            for n in nodes.iter_mut() {
+                n.awake = n.alive;
+            }
+        })
+    }
+}
+
+/// Synchronized rounds: elect a separation-respecting working set, sleep
+/// everyone else until the round boundary, repeat.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SynchronizedRounds {
+    /// Round length in seconds — the workers' *predicted* lifetime. The
+    /// paper's batteries sustain 4500–5000 s awake, so a conservative
+    /// predictor would use something near 4500 s; shorter rounds trade
+    /// energy (more re-elections) for failure resilience.
+    pub round_secs: f64,
+}
+
+impl SynchronizedRounds {
+    /// A round length matching the paper's battery floor (4500 s).
+    pub fn paper() -> SynchronizedRounds {
+        SynchronizedRounds { round_secs: 4500.0 }
+    }
+}
+
+/// Greedy election of an awake set with pairwise separation: randomized
+/// order, claim a spot unless a closer already-elected node exists.
+fn elect_separated(nodes: &mut [SteppedNode], separation: f64, rng: &mut SimRng) {
+    let mut order: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
+    rng.shuffle(&mut order);
+    let mut elected: Vec<usize> = Vec::new();
+    for &i in &order {
+        let p = nodes[i].pos;
+        let taken = elected
+            .iter()
+            .any(|&j| nodes[j].pos.within(p, separation));
+        if !taken {
+            elected.push(i);
+        }
+    }
+    for n in nodes.iter_mut() {
+        n.awake = false;
+    }
+    for &i in &elected {
+        nodes[i].awake = true;
+    }
+}
+
+impl SleepScheduler for SynchronizedRounds {
+    fn name(&self) -> &'static str {
+        "synchronized-rounds"
+    }
+
+    fn run(&self, scenario: &BaselineScenario, seed: u64) -> BaselineReport {
+        assert!(self.round_secs > 0.0, "round length must be positive");
+        let round = self.round_secs;
+        let separation = scenario.separation;
+        let mut next_election = 0.0;
+        run_stepped(scenario, seed, move |t, nodes, rng| {
+            if t >= next_election {
+                elect_separated(nodes, separation, rng);
+                next_election = t + round;
+            } else {
+                // Between boundaries nobody replaces failures — the defining
+                // weakness under unexpected failures (Section 2.1.1): just
+                // clear the awake flag of the dead.
+                for n in nodes.iter_mut() {
+                    if !n.alive {
+                        n.awake = false;
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// GAF-style fixed geographic cells with one rotating leader per cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GafGrid {
+    /// Cell side, meters. GAF uses `r = Rt/√5` so that any node in a cell
+    /// reaches any node in the four adjacent cells.
+    pub cell_size: f64,
+    /// Leadership rotation period, seconds.
+    pub round_secs: f64,
+}
+
+impl GafGrid {
+    /// GAF cell sizing from the paper's 10 m radio range: `10/√5 ≈ 4.47 m`,
+    /// rotating at the predicted worker lifetime.
+    pub fn paper() -> GafGrid {
+        GafGrid {
+            cell_size: 10.0 / 5.0f64.sqrt(),
+            round_secs: 4500.0,
+        }
+    }
+}
+
+impl SleepScheduler for GafGrid {
+    fn name(&self) -> &'static str {
+        "gaf-grid"
+    }
+
+    fn run(&self, scenario: &BaselineScenario, seed: u64) -> BaselineReport {
+        assert!(self.cell_size > 0.0 && self.round_secs > 0.0);
+        let cell = self.cell_size;
+        let cols = (scenario.field.width() / cell).ceil() as usize;
+        let round = self.round_secs;
+        let mut next_election = 0.0;
+        run_stepped(scenario, seed, move |t, nodes, rng| {
+            if t < next_election {
+                for n in nodes.iter_mut() {
+                    if !n.alive {
+                        n.awake = false;
+                    }
+                }
+                return;
+            }
+            next_election = t + round;
+            // Leader per cell: the node with the most remaining energy,
+            // with a random tiebreak supplied by iteration order shuffle.
+            let mut order: Vec<usize> =
+                (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
+            rng.shuffle(&mut order);
+            let mut leader: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            for &i in &order {
+                let cx = (nodes[i].pos.x / cell) as usize;
+                let cy = (nodes[i].pos.y / cell) as usize;
+                let key = cy * cols + cx;
+                let replace = match leader.get(&key) {
+                    Some(&j) => nodes[i].battery_j > nodes[j].battery_j,
+                    None => true,
+                };
+                if replace {
+                    leader.insert(key, i);
+                }
+            }
+            for n in nodes.iter_mut() {
+                n.awake = false;
+            }
+            for (_, &i) in leader.iter() {
+                nodes[i].awake = true;
+            }
+        })
+    }
+}
+
+/// AFECA-style independent duty cycling: each node sleeps for a period
+/// proportional to its (one-time) neighbor count and stays awake for a
+/// fixed interval, so that in expectation about one node per neighborhood
+/// is awake at any instant. No elections, no per-round synchronization —
+/// but also no replacement guarantee: coverage at any instant is
+/// probabilistic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AfecaLike {
+    /// Awake interval per duty cycle, seconds.
+    pub awake_secs: f64,
+    /// Radio range used to count neighbors, meters.
+    pub neighbor_range: f64,
+}
+
+impl AfecaLike {
+    /// Parameters matching the paper's setting: 10 m radio range, 60 s
+    /// awake intervals.
+    pub fn paper() -> AfecaLike {
+        AfecaLike {
+            awake_secs: 60.0,
+            neighbor_range: 10.0,
+        }
+    }
+}
+
+impl SleepScheduler for AfecaLike {
+    fn name(&self) -> &'static str {
+        "afeca-like"
+    }
+
+    fn run(&self, scenario: &BaselineScenario, seed: u64) -> BaselineReport {
+        assert!(self.awake_secs > 0.0 && self.neighbor_range > 0.0);
+        let awake = self.awake_secs;
+        let range = self.neighbor_range;
+        // Per-node schedule state: time the current phase ends, and
+        // whether the node is in its awake phase. Neighbor counts are
+        // computed on first use (deployment is static).
+        let mut phase_end: Vec<f64> = Vec::new();
+        let mut neighbor_count: Vec<usize> = Vec::new();
+        run_stepped(scenario, seed, move |t, nodes, rng| {
+            if neighbor_count.is_empty() {
+                neighbor_count = nodes
+                    .iter()
+                    .map(|a| {
+                        nodes
+                            .iter()
+                            .filter(|b| a.pos.within(b.pos, range))
+                            .count()
+                            .saturating_sub(1)
+                            .max(1)
+                    })
+                    .collect();
+                // Start everyone sleeping with a randomized first phase so
+                // wakeups are spread out.
+                phase_end = nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| rng.range_f64(0.0, awake * neighbor_count[i] as f64))
+                    .collect();
+                for n in nodes.iter_mut() {
+                    n.awake = false;
+                }
+            }
+            for (i, n) in nodes.iter_mut().enumerate() {
+                if !n.alive {
+                    n.awake = false;
+                    continue;
+                }
+                if t >= phase_end[i] {
+                    if n.awake {
+                        // Go to sleep for ~neighbor_count awake-intervals:
+                        // in expectation one of the neighborhood is awake.
+                        n.awake = false;
+                        let sleep = rng.exp_secs(1.0 / (awake * neighbor_count[i] as f64));
+                        phase_end[i] = t + sleep;
+                    } else {
+                        n.awake = true;
+                        phase_end[i] = t + awake;
+                    }
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_scenario(n: usize) -> BaselineScenario {
+        let mut s = BaselineScenario::paper(n);
+        s.coverage_resolution = 2.0;
+        s.step_secs = 25.0;
+        s
+    }
+
+    #[test]
+    fn always_on_dies_at_battery_exhaustion_regardless_of_n() {
+        let life = |n| {
+            AlwaysOn
+                .run(&quick_scenario(n), 1)
+                .coverage_lifetime(1, 0.9)
+        };
+        let l160 = life(160);
+        let l480 = life(480);
+        // Both die when the 54–60 J batteries exhaust at 12 mW: 4500–5000 s.
+        assert!((4000.0..5500.0).contains(&l160), "lifetime {l160}");
+        assert!(
+            (l480 - l160).abs() < 600.0,
+            "always-on must not scale with n: {l160} vs {l480}"
+        );
+    }
+
+    #[test]
+    fn synchronized_rounds_extend_lifetime_with_population() {
+        let life = |n| {
+            SynchronizedRounds::paper()
+                .run(&quick_scenario(n), 2)
+                .coverage_lifetime(1, 0.9)
+        };
+        let l200 = life(200);
+        let l600 = life(600);
+        assert!(
+            l600 > l200 * 1.8,
+            "rounds should scale lifetime: {l200} vs {l600}"
+        );
+    }
+
+    #[test]
+    fn synchronized_rounds_sleep_most_nodes() {
+        let report = SynchronizedRounds::paper().run(&quick_scenario(480), 3);
+        // During the first round the elected set should be far below the
+        // deployed count but dense enough to cover the field.
+        let early: Vec<usize> = report
+            .awake_counts
+            .iter()
+            .filter(|&&(t, _)| (100.0..1000.0).contains(&t))
+            .map(|&(_, n)| n)
+            .collect();
+        let mean = early.iter().sum::<usize>() as f64 / early.len() as f64;
+        assert!(
+            (40.0..250.0).contains(&mean),
+            "first-round awake set {mean} of 480 deployed"
+        );
+    }
+
+    #[test]
+    fn failures_hurt_synchronized_coverage_more_than_it_hurts_always_on_capacity() {
+        // Qualitative Figure 4/5 effect at the network scale: with heavy
+        // failures, synchronized coverage degrades between boundaries.
+        let clean = SynchronizedRounds::paper().run(&quick_scenario(480), 4);
+        let failing =
+            SynchronizedRounds::paper().run(&quick_scenario(480).with_failures(100.0), 4);
+        let c = clean.coverage_lifetime(1, 0.9);
+        let f = failing.coverage_lifetime(1, 0.9);
+        assert!(f < c, "failures must shorten lifetime: {c} vs {f}");
+    }
+
+    #[test]
+    fn gaf_keeps_one_leader_per_occupied_cell() {
+        let report = GafGrid::paper().run(&quick_scenario(480), 5);
+        // 50/4.47 ≈ 12 cells per side ≈ up to ~144 occupied cells; during
+        // the first round the leader set must be about one per cell.
+        let early: Vec<usize> = report
+            .awake_counts
+            .iter()
+            .filter(|&&(t, _)| (100.0..1000.0).contains(&t))
+            .map(|&(_, n)| n)
+            .collect();
+        let mean = early.iter().sum::<usize>() as f64 / early.len() as f64;
+        assert!(
+            (80.0..150.0).contains(&mean),
+            "GAF awake set should be about one per occupied cell: {mean}"
+        );
+    }
+
+    #[test]
+    fn gaf_extends_lifetime_with_population() {
+        let life = |n| GafGrid::paper().run(&quick_scenario(n), 6).coverage_lifetime(1, 0.9);
+        let l200 = life(200);
+        let l600 = life(600);
+        assert!(l600 > l200 * 1.5, "{l200} vs {l600}");
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(AlwaysOn.name(), "always-on");
+        assert_eq!(SynchronizedRounds::paper().name(), "synchronized-rounds");
+        assert_eq!(GafGrid::paper().name(), "gaf-grid");
+        assert_eq!(AfecaLike::paper().name(), "afeca-like");
+    }
+
+    #[test]
+    fn afeca_duty_cycles_a_fraction_of_the_population() {
+        let report = AfecaLike::paper().run(&quick_scenario(480), 7);
+        let early: Vec<usize> = report
+            .awake_counts
+            .iter()
+            .filter(|&&(t, _)| (500.0..2000.0).contains(&t))
+            .map(|&(_, n)| n)
+            .collect();
+        let mean = early.iter().sum::<usize>() as f64 / early.len() as f64;
+        // ~1 awake node per 10 m neighborhood: far fewer than 480, far
+        // more than zero.
+        assert!((5.0..200.0).contains(&mean), "awake mean {mean}");
+    }
+
+    #[test]
+    fn afeca_awake_count_is_density_independent() {
+        // The sleep period scales with the neighbor count, so the *awake*
+        // population tracks the field geometry (one per neighborhood), not
+        // the deployment size — which is exactly what lets its lifetime
+        // scale with the population.
+        let mean_awake = |n| {
+            let report = AfecaLike::paper().run(&quick_scenario(n), 8);
+            let early: Vec<usize> = report
+                .awake_counts
+                .iter()
+                .filter(|&&(t, _)| (500.0..3000.0).contains(&t))
+                .map(|&(_, c)| c)
+                .collect();
+            early.iter().sum::<usize>() as f64 / early.len() as f64
+        };
+        let a200 = mean_awake(200);
+        let a600 = mean_awake(600);
+        assert!(
+            a600 < 2.0 * a200,
+            "awake population must not track deployment size: {a200} vs {a600}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the baseline schedulers: the stepped driver's
+//! invariants must hold for every scheduler under arbitrary scenarios.
+
+use proptest::prelude::*;
+
+use peas_baselines::{
+    AfecaLike, AlwaysOn, BaselineScenario, GafGrid, SleepScheduler, SynchronizedRounds,
+};
+
+fn arb_scenario() -> impl Strategy<Value = (BaselineScenario, u64)> {
+    (
+        20usize..150,        // node_count
+        0.0f64..100.0,       // failure rate per 5000 s
+        any::<u64>(),        // seed
+    )
+        .prop_map(|(n, failures, seed)| {
+            let mut s = BaselineScenario::paper(n).with_failures(failures);
+            s.coverage_resolution = 2.5;
+            s.step_secs = 50.0;
+            s.horizon_secs = 3_000.0;
+            (s, seed)
+        })
+}
+
+fn schedulers() -> Vec<Box<dyn SleepScheduler>> {
+    vec![
+        Box::new(AlwaysOn),
+        Box::new(SynchronizedRounds::paper()),
+        Box::new(GafGrid::paper()),
+        Box::new(AfecaLike::paper()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every scheduler produces a well-formed report: monotone time,
+    /// coverage values in [0, 1] and monotone in k, awake counts within
+    /// the population, and death accounting that never exceeds it.
+    #[test]
+    fn reports_are_well_formed((scenario, seed) in arb_scenario()) {
+        for scheduler in schedulers() {
+            let report = scheduler.run(&scenario, seed);
+            prop_assert!(!report.samples.is_empty(), "{}", scheduler.name());
+            let mut last_t = f64::NEG_INFINITY;
+            for (t, covs) in &report.samples {
+                prop_assert!(*t > last_t, "{}: time regressed", scheduler.name());
+                last_t = *t;
+                prop_assert_eq!(covs.len(), scenario.max_k as usize);
+                for pair in covs.windows(2) {
+                    prop_assert!((0.0..=1.0).contains(&pair[0]));
+                    prop_assert!(pair[0] >= pair[1] - 1e-12,
+                        "{}: k-coverage not monotone", scheduler.name());
+                }
+            }
+            for &(_, awake) in &report.awake_counts {
+                prop_assert!(awake <= scenario.node_count);
+            }
+            prop_assert!(
+                (report.failures + report.energy_deaths) as usize <= scenario.node_count
+            );
+            prop_assert!(report.end_secs <= scenario.horizon_secs + scenario.step_secs);
+        }
+    }
+
+    /// Same seed, same report: the baselines are as deterministic as the
+    /// packet-level simulator.
+    #[test]
+    fn baselines_are_deterministic((scenario, seed) in arb_scenario()) {
+        for scheduler in schedulers() {
+            let a = scheduler.run(&scenario, seed);
+            let b = scheduler.run(&scenario, seed);
+            prop_assert_eq!(a.samples.len(), b.samples.len());
+            for (sa, sb) in a.samples.iter().zip(&b.samples) {
+                prop_assert_eq!(sa, sb);
+            }
+            prop_assert_eq!(a.failures, b.failures);
+            prop_assert_eq!(a.energy_deaths, b.energy_deaths);
+        }
+    }
+
+    /// The synchronized-rounds elected set always respects the separation
+    /// constraint: its awake count can never exceed the packing bound
+    /// area/(π(separation/2)²) by more than rounding slack.
+    #[test]
+    fn synchronized_awake_set_respects_packing((scenario, seed) in arb_scenario()) {
+        let report = SynchronizedRounds::paper().run(&scenario, seed);
+        let packing = scenario.field.area()
+            / (std::f64::consts::PI * (scenario.separation / 2.0).powi(2));
+        for &(_, awake) in &report.awake_counts {
+            prop_assert!(
+                (awake as f64) <= packing,
+                "awake {awake} exceeds the Rp packing bound {packing:.0}"
+            );
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! One Criterion bench per paper artifact: each runs a scaled-down version
+//! of the pipeline that regenerates the corresponding table or figure, so
+//! `cargo bench` exercises every experiment end-to-end. Full paper-scale
+//! numbers come from the `paper` binary (`paper all`), whose output is
+//! recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use peas_analysis::{mean_gaps, GapModel};
+use peas_bench::experiments;
+use peas_bench::sweeps::{deployment_sweep, failure_sweep};
+use peas_des::time::SimTime;
+use peas_sim::{run_one, ScenarioConfig, World};
+
+/// A miniature deployment point: enough to exercise the fig9/10/11/table1
+/// extraction path in a bench-sized budget.
+fn mini_deployment_sweep() -> Vec<peas_bench::sweeps::SweepPoint> {
+    let mut points = deployment_sweep(&[], &[1]);
+    debug_assert!(points.is_empty());
+    for n in [80usize, 160] {
+        let mut cfg = ScenarioConfig::paper(n);
+        cfg.horizon = SimTime::from_secs(1_500);
+        points.push(peas_bench::sweeps::SweepPoint {
+            x: n as f64,
+            reports: vec![run_one(cfg)],
+        });
+    }
+    points
+}
+
+fn mini_failure_sweep() -> Vec<peas_bench::sweeps::SweepPoint> {
+    let mut points = failure_sweep(160, &[], &[1]);
+    debug_assert!(points.is_empty());
+    for rate in [5.33f64, 48.0] {
+        let mut cfg = ScenarioConfig::paper(160).with_failure_rate(rate);
+        cfg.horizon = SimTime::from_secs(1_500);
+        points.push(peas_bench::sweeps::SweepPoint {
+            x: rate,
+            reports: vec![run_one(cfg)],
+        });
+    }
+    points
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig9_coverage_lifetime_sweep", |b| {
+        b.iter(|| {
+            let points = mini_deployment_sweep();
+            black_box(experiments::fig9(&points))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig10_delivery_lifetime_sweep", |b| {
+        b.iter(|| {
+            let points = mini_deployment_sweep();
+            black_box(experiments::fig10(&points))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig11_wakeups_sweep", |b| {
+        b.iter(|| {
+            let points = mini_deployment_sweep();
+            black_box(experiments::fig11(&points))
+        });
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table1_energy_overhead", |b| {
+        b.iter(|| {
+            let points = mini_deployment_sweep();
+            black_box(experiments::table1(&points))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig12_coverage_vs_failures", |b| {
+        b.iter(|| {
+            let points = mini_failure_sweep();
+            black_box(experiments::fig12(&points))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig13_delivery_vs_failures", |b| {
+        b.iter(|| {
+            let points = mini_failure_sweep();
+            black_box(experiments::fig13(&points))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig14_wakeups_vs_failures", |b| {
+        b.iter(|| {
+            let points = mini_failure_sweep();
+            black_box(experiments::fig14(&points))
+        });
+    });
+    g.finish();
+}
+
+fn bench_kaccuracy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("sec221_estimator_accuracy", |b| {
+        b.iter(|| {
+            black_box(peas_analysis::poisson::estimator_errors(32, 0.02, 5_000, 7))
+        });
+    });
+    g.finish();
+}
+
+fn bench_gaps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("fig4_5_gap_models", |b| {
+        b.iter(|| black_box(mean_gaps(GapModel::paper(0.38), 20_000, 11)));
+    });
+    g.finish();
+}
+
+fn bench_connectivity_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("sec3_connectivity_validation", |b| {
+        b.iter(|| {
+            let mut config = ScenarioConfig::paper(160).with_failure_rate(0.0).with_seed(3);
+            config.grab = None;
+            config.horizon = SimTime::from_secs(800);
+            let mut world = World::new(config.clone());
+            world.run_until(SimTime::from_secs(600));
+            let working = world.working_positions();
+            black_box(peas_analysis::check_working_set(
+                config.field,
+                &working,
+                3.0,
+                3.0,
+                &[10.0],
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    use peas_baselines::{BaselineScenario, SleepScheduler, SynchronizedRounds};
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("baseline_synchronized_rounds", |b| {
+        let mut scenario = BaselineScenario::paper(160).with_failures(10.66);
+        scenario.coverage_resolution = 2.0;
+        scenario.step_secs = 25.0;
+        scenario.horizon_secs = 20_000.0;
+        b.iter(|| black_box(SynchronizedRounds::paper().run(&scenario, 5)));
+    });
+    g.finish();
+}
+
+fn bench_full_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(10);
+    g.bench_function("paper_scenario_n160_to_1000s", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::paper(160).with_seed(1);
+            cfg.horizon = SimTime::from_secs(1_000);
+            black_box(run_one(cfg))
+        });
+    });
+    g.finish();
+}
+
+fn bench_deployment_dist(c: &mut Criterion) {
+    use peas_geom::Deployment;
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("sec4_deployment_distribution", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::paper(120).with_seed(2);
+            cfg.grab = None;
+            cfg.deployment = Deployment::Clustered {
+                centers: 4,
+                std_dev: 5.0,
+            };
+            cfg.horizon = SimTime::from_secs(1_000);
+            black_box(run_one(cfg))
+        });
+    });
+    g.finish();
+}
+
+fn bench_irregular(c: &mut Criterion) {
+    use peas::PeasConfig;
+    use peas_radio::Channel;
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("sec4_fixed_power_shadowed", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::paper(120).with_seed(3).with_failure_rate(0.0);
+            cfg.grab = None;
+            cfg.channel = Channel::shadowed(5);
+            cfg.peas = PeasConfig::builder().fixed_power(10.0).build();
+            cfg.horizon = SimTime::from_secs(1_000);
+            black_box(run_one(cfg))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_table1,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_kaccuracy,
+    bench_gaps,
+    bench_connectivity_check,
+    bench_baselines,
+    bench_deployment_dist,
+    bench_irregular,
+    bench_full_sim
+);
+criterion_main!(figures);

@@ -1,0 +1,196 @@
+//! Micro-benchmarks of the substrates: the event queue, RNG, spatial
+//! queries, coverage rasterization, the radio medium and the protocol
+//! state machines. These guard the constants behind the full-simulation
+//! throughput (one paper-scale run fires tens of millions of events).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use peas::{Input, Message, PeasConfig, PeasNode};
+use peas_des::prelude::*;
+use peas_geom::{connectivity, CoverageGrid, Deployment, Field, SpatialGrid};
+use peas_grab::{GrabConfig, GrabRelay, Report};
+use peas_radio::{Channel, Medium, NodeId, RxInfo};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("des/schedule_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        let times: Vec<SimTime> = (0..10_000)
+            .map(|_| SimTime::from_nanos(rng.below(1_000_000_000)))
+            .collect();
+        b.iter(|| {
+            let mut sim: Simulator<u32> = Simulator::new();
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(t, i as u32);
+            }
+            let mut count = 0u32;
+            while let Some(f) = sim.next() {
+                count = count.wrapping_add(f.payload);
+            }
+            black_box(count)
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("des/exp_sampling_10k", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.exp_secs(0.02);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_spatial_grid(c: &mut Criterion) {
+    let field = Field::paper();
+    let mut rng = SimRng::new(3);
+    let positions = Deployment::Uniform.generate(field, 800, &mut rng);
+    let mut grid = SpatialGrid::new(field, 10.0);
+    for (i, &p) in positions.iter().enumerate() {
+        grid.insert(i, p);
+    }
+    c.bench_function("geom/grid_query_rp3_x1k", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..1_000 {
+                let center = positions[i % positions.len()];
+                total += grid.count_within(center, 3.0);
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let field = Field::paper();
+    let mut rng = SimRng::new(4);
+    let working = Deployment::Uniform.generate(field, 200, &mut rng);
+    let grid = CoverageGrid::new(field, 1.0);
+    c.bench_function("geom/k_coverages_200workers", |b| {
+        b.iter(|| black_box(grid.k_coverages(&working, 10.0, 5)));
+    });
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let field = Field::paper();
+    let mut rng = SimRng::new(5);
+    let working = Deployment::Uniform.generate(field, 200, &mut rng);
+    c.bench_function("geom/connectivity_200workers", |b| {
+        b.iter(|| black_box(connectivity::analyze(field, &working, 10.0)));
+    });
+}
+
+fn bench_medium(c: &mut Criterion) {
+    let field = Field::paper();
+    let mut rng = SimRng::new(6);
+    let positions = Deployment::Uniform.generate(field, 480, &mut rng);
+    c.bench_function("radio/broadcast_complete_x100", |b| {
+        b.iter_batched(
+            || Medium::new(field, &positions, Channel::Disc, 20_000, 0.0),
+            |mut medium| {
+                let mut rng = SimRng::new(7);
+                let mut now = SimTime::ZERO;
+                for i in 0..100u32 {
+                    let tx = medium.start_broadcast(now, NodeId(i % 480), 10.0, 25, &mut rng);
+                    now = tx.end;
+                    black_box(medium.complete(tx.id));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_peas_node(c: &mut Criterion) {
+    c.bench_function("peas/probe_round", |b| {
+        b.iter_batched(
+            || {
+                let mut node = PeasNode::new(NodeId(0), PeasConfig::paper());
+                let mut rng = SimRng::new(8);
+                node.start(&mut rng);
+                (node, rng)
+            },
+            |(mut node, mut rng)| {
+                let t0 = SimTime::from_secs(10);
+                black_box(node.on_input(t0, Input::WakeUp, &mut rng));
+                black_box(node.on_input(
+                    t0 + SimDuration::from_millis(5),
+                    Input::ProbeSendTimer,
+                    &mut rng,
+                ));
+                black_box(node.on_input(
+                    t0 + SimDuration::from_millis(150),
+                    Input::ReplyWindowClosed,
+                    &mut rng,
+                ));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("peas/working_node_probe_reply", |b| {
+        let mut node = PeasNode::new(NodeId(0), PeasConfig::paper());
+        let mut rng = SimRng::new(9);
+        node.start(&mut rng);
+        node.on_input(SimTime::from_secs(1), Input::WakeUp, &mut rng);
+        node.on_input(
+            SimTime::from_secs(1) + SimDuration::from_millis(150),
+            Input::ReplyWindowClosed,
+            &mut rng,
+        );
+        let info = RxInfo {
+            distance: 2.0,
+            effective_distance: 2.0,
+        };
+        let mut t = SimTime::from_secs(2);
+        b.iter(|| {
+            t += SimDuration::from_millis(200);
+            black_box(node.on_input(
+                t,
+                Input::Frame {
+                    from: NodeId(5),
+                    msg: Message::Probe,
+                    info,
+                },
+                &mut rng,
+            ));
+            black_box(node.on_input(t + SimDuration::from_millis(60), Input::ReplyBackoff, &mut rng));
+        });
+    });
+}
+
+fn bench_grab_relay(c: &mut Criterion) {
+    c.bench_function("grab/forward_report", |b| {
+        let mut rng = SimRng::new(10);
+        let mut relay = GrabRelay::new(GrabConfig::paper());
+        relay.on_adv(1, 3, &mut rng);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let report = Report {
+                source: NodeId(99),
+                seq,
+                sender_cost: 6,
+                hops: 2,
+                budget: 20,
+            };
+            black_box(relay.on_report(report, &mut rng))
+        });
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_event_queue,
+    bench_rng,
+    bench_spatial_grid,
+    bench_coverage,
+    bench_connectivity,
+    bench_medium,
+    bench_peas_node,
+    bench_grab_relay
+);
+criterion_main!(micro);

@@ -1,0 +1,14 @@
+fn main() {
+    use peas_sim::*;
+    for n in [160usize, 480, 800] {
+        let t0 = std::time::Instant::now();
+        let report = run_one(ScenarioConfig::paper(n).with_seed(1));
+        println!("N={n}: wall={:?} end={:.0}s wakeups={} cov3={:.0} cov4={:.0} cov5={:.0} deliv={:.0} ratio_final={:.3} overheadJ={:.2} ovr={:.3}% consumed={:.0}J failures={} edeaths={}",
+            t0.elapsed(), report.end_secs, report.total_wakeups(),
+            report.coverage_lifetime(3, 0.9), report.coverage_lifetime(4, 0.9), report.coverage_lifetime(5, 0.9),
+            report.delivery_lifetime(0.9),
+            report.final_delivery_ratio().unwrap_or(f64::NAN),
+            report.overhead_j(), report.overhead_ratio()*100.0, report.consumed_j,
+            report.failures_injected, report.energy_deaths);
+    }
+}

@@ -1,0 +1,86 @@
+//! PEAS control messages.
+//!
+//! Both messages fit comfortably into the 25-byte control frame of
+//! Section 5.1 ("The packet size of PROBE and REPLY messages is 25 bytes,
+//! which is enough to hold the information they need to carry").
+
+use peas_des::time::SimDuration;
+
+use crate::rate::RateMeasurement;
+
+/// Frame size used for both PROBE and REPLY (Section 5.1).
+pub const CONTROL_FRAME_BYTES: usize = 25;
+
+/// A PEAS control message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Message {
+    /// Broadcast by a probing node within its probing range `Rp`
+    /// asking "is any working node here?".
+    Probe,
+    /// Answer from a working node, also sent within `Rp`.
+    Reply(Reply),
+}
+
+impl Message {
+    /// On-air size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        CONTROL_FRAME_BYTES
+    }
+
+    /// Whether this is a PROBE.
+    pub fn is_probe(&self) -> bool {
+        matches!(self, Message::Probe)
+    }
+
+    /// Whether this is a REPLY.
+    pub fn is_reply(&self) -> bool {
+        matches!(self, Message::Reply(_))
+    }
+}
+
+/// Payload of a REPLY message.
+///
+/// Carries the feedback that drives Adaptive Sleeping (Section 2.2) plus the
+/// working time `Tw` used by the Section 4 turn-off rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Reply {
+    /// The sender's current aggregate-rate measurement λ̂, if it has
+    /// accumulated `k` PROBEs already.
+    pub measured_rate: Option<RateMeasurement>,
+    /// The desired aggregate rate λd the sender operates under.
+    pub desired_rate: f64,
+    /// How long the sender has been working (`Tw`, Section 4); newer
+    /// working nodes yield to older ones.
+    pub working_time: SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::RateMeasurement;
+
+    #[test]
+    fn both_messages_are_25_bytes() {
+        let probe = Message::Probe;
+        let reply = Message::Reply(Reply {
+            measured_rate: Some(RateMeasurement::new(0.05)),
+            desired_rate: 0.02,
+            working_time: SimDuration::from_secs(10),
+        });
+        assert_eq!(probe.size_bytes(), 25);
+        assert_eq!(reply.size_bytes(), 25);
+    }
+
+    #[test]
+    fn discriminators() {
+        assert!(Message::Probe.is_probe());
+        assert!(!Message::Probe.is_reply());
+        let reply = Message::Reply(Reply {
+            measured_rate: None,
+            desired_rate: 0.02,
+            working_time: SimDuration::ZERO,
+        });
+        assert!(reply.is_reply());
+        assert!(!reply.is_probe());
+    }
+}

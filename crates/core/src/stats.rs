@@ -1,0 +1,78 @@
+//! Per-node protocol counters.
+//!
+//! These feed Figures 11 and 14 (wakeup counts) and Table 1 (energy
+//! overhead, combined with the radio ledger).
+
+/// Counters a [`crate::node::PeasNode`] maintains about its own behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Times the node woke up to probe (one per sleep period that ended).
+    pub wakeups: u64,
+    /// PROBE frames transmitted (up to `probe_count` per wakeup).
+    pub probes_sent: u64,
+    /// REPLY frames transmitted while working.
+    pub replies_sent: u64,
+    /// PROBE frames heard (and accepted by the threshold filter).
+    pub probes_heard: u64,
+    /// REPLY frames heard during probing windows.
+    pub replies_heard: u64,
+    /// Completed aggregate-rate measurements.
+    pub measurements: u64,
+    /// Probing windows that ended with at least one REPLY (went back to
+    /// sleep).
+    pub window_with_reply: u64,
+    /// Probing windows that ended silent (started working).
+    pub window_silent: u64,
+    /// Times the node gave up working because of the Section 4 turn-off
+    /// rule.
+    pub turnoffs: u64,
+    /// REPLYs overheard while working (turn-off rule evaluations).
+    pub replies_overheard: u64,
+}
+
+impl NodeStats {
+    /// Accumulates another node's counters (for fleet totals).
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.wakeups += other.wakeups;
+        self.probes_sent += other.probes_sent;
+        self.replies_sent += other.replies_sent;
+        self.probes_heard += other.probes_heard;
+        self.replies_heard += other.replies_heard;
+        self.measurements += other.measurements;
+        self.window_with_reply += other.window_with_reply;
+        self.window_silent += other.window_silent;
+        self.turnoffs += other.turnoffs;
+        self.replies_overheard += other.replies_overheard;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = NodeStats::default();
+        assert_eq!(s.wakeups, 0);
+        assert_eq!(s.probes_sent, 0);
+        assert_eq!(s.turnoffs, 0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = NodeStats {
+            wakeups: 2,
+            probes_sent: 6,
+            ..NodeStats::default()
+        };
+        let b = NodeStats {
+            wakeups: 3,
+            replies_sent: 1,
+            ..NodeStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.wakeups, 5);
+        assert_eq!(a.probes_sent, 6);
+        assert_eq!(a.replies_sent, 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! The pending-event set.
+//!
+//! A binary heap keyed on `(time, sequence)` gives deterministic FIFO
+//! ordering among events scheduled for the same instant — whichever was
+//! scheduled first fires first. Cancellation is lazy: cancelled ids go into a
+//! tombstone set and are skipped on pop, which keeps both `schedule` and
+//! `cancel` O(log n) / O(1).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable to cancel it.
+///
+/// Ids are unique within one [`EventQueue`] and never reused.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EventId({})", self.0)
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+// Order entries so that the heap (a max-heap) pops the earliest time first,
+// breaking ties by insertion order.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest (time, seq) is the "greatest" for BinaryHeap.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A fired event as returned by [`EventQueue::pop`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fired<E> {
+    /// The instant the event was scheduled for.
+    pub time: SimTime,
+    /// The handle it was scheduled under.
+    pub id: EventId,
+    /// The event payload.
+    pub payload: E,
+}
+
+/// Priority queue of timestamped events with stable FIFO tie-breaking and
+/// O(1) cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use peas_des::event::EventQueue;
+/// use peas_des::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "later");
+/// q.schedule(SimTime::from_secs(1), "sooner");
+/// assert_eq!(q.pop().unwrap().payload, "sooner");
+/// assert_eq!(q.pop().unwrap().payload, "later");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids of scheduled events that have neither fired nor been cancelled.
+    pending: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`, returning a cancellable handle.
+    ///
+    /// Events for equal times fire in the order they were scheduled.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry {
+            time,
+            seq,
+            id,
+            payload,
+        });
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending, `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Removing from `pending` is the single source of truth; the heap
+        // entry becomes a tombstone that `pop`/`peek_time` skip lazily.
+        self.pending.remove(&id)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Fired<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.id) {
+                return Some(Fired {
+                    time: entry.time,
+                    id: entry.id,
+                    payload: entry.payload,
+                });
+            }
+            // else: cancelled tombstone, skip
+        }
+        None
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain tombstones off the top so peek reflects a live event.
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.id) {
+                return Some(top.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total number of events ever scheduled (monotone counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.pending.len())
+            .field("scheduled_total", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3), 'c');
+        q.schedule(t(1), 'a');
+        q.schedule(t(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|f| f.payload)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|f| f.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+        let _ = b;
+    }
+
+    #[test]
+    fn cancel_twice_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let mut other = EventQueue::new();
+        let foreign = other.schedule(t(1), ());
+        // `foreign` has seq 0 which this queue never issued.
+        assert!(!q.cancel(foreign));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fired_reports_schedule_time_and_id() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(t(7), 42);
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.time, t(7));
+        assert_eq!(fired.id, id);
+        assert_eq!(fired.payload, 42);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the DES engine: ordering, cancellation,
+//! determinism, and distributional sanity of the RNG.
+
+use proptest::prelude::*;
+
+use peas_des::event::EventQueue;
+use peas_des::rng::SimRng;
+use peas_des::sim::Simulator;
+use peas_des::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, and events that share
+    /// a timestamp pop in insertion order.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(f) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(f.time >= lt);
+                if f.time == lt {
+                    prop_assert!(f.payload > li, "FIFO violated at equal times");
+                }
+            }
+            last = Some((f.time, f.payload));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..100, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut expect_kept: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expect_kept.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some(f) = q.pop() {
+            popped.push(f.payload);
+        }
+        popped.sort_unstable();
+        expect_kept.sort_unstable();
+        prop_assert_eq!(popped, expect_kept);
+    }
+
+    /// A simulator run over a random schedule is a pure function of its
+    /// inputs (replaying produces the identical trace).
+    #[test]
+    fn simulator_replay_is_identical(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let run = |times: &[u64]| {
+            let mut sim = Simulator::new();
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(t), i);
+            }
+            let mut trace = Vec::new();
+            while let Some(f) = sim.next() {
+                trace.push((f.time, f.payload));
+            }
+            trace
+        };
+        prop_assert_eq!(run(&times), run(&times));
+    }
+
+    /// Two RNG streams from the same seed never produce identical prefixes.
+    #[test]
+    fn rng_streams_are_decoupled(seed in any::<u64>(), s1 in 0u64..64, s2 in 0u64..64) {
+        prop_assume!(s1 != s2);
+        let mut a = SimRng::stream(seed, s1);
+        let mut b = SimRng::stream(seed, s2);
+        let equal = (0..32).all(|_| a.next_u64() == b.next_u64());
+        prop_assert!(!equal);
+    }
+
+    /// `below(n)` is always within range.
+    #[test]
+    fn below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// Exponential samples are non-negative and finite for any positive rate.
+    #[test]
+    fn exp_samples_well_formed(seed in any::<u64>(), rate in 1e-6f64..1e6) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..20 {
+            let x = rng.exp_secs(rate);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    /// range_duration stays within its bounds.
+    #[test]
+    fn range_duration_in_bounds(seed in any::<u64>(), lo in 0u64..1_000, span in 1u64..1_000) {
+        let mut rng = SimRng::new(seed);
+        let lo_d = SimDuration::from_nanos(lo);
+        let hi_d = SimDuration::from_nanos(lo + span);
+        for _ in 0..20 {
+            let d = rng.range_duration(lo_d, hi_d);
+            prop_assert!(d >= lo_d && d < hi_d);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Connectivity of the working-node communication graph.
+//!
+//! Section 3 of the paper proves that PEAS yields an asymptotically
+//! connected working set whenever the transmission range satisfies
+//! `Rt ≥ (1 + √5)·Rp`. These helpers compute, for a concrete working set,
+//! the quantities that theorem talks about: the communication graph's
+//! connectivity, and each node's distance to its closest working neighbor
+//! (Lemma 3.2 bounds the maximum of those by `(1 + √5)·Rp`).
+
+use crate::field::Field;
+use crate::grid::SpatialGrid;
+use crate::point::Point;
+use crate::unionfind::UnionFind;
+
+/// The factor `1 + √5` from Theorem 3.1.
+pub const CONNECTIVITY_FACTOR: f64 = 3.23606797749979; // 1 + sqrt(5)
+
+/// Summary of a working set's communication graph at radius `Rt`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConnectivityReport {
+    /// Number of working nodes considered.
+    pub node_count: usize,
+    /// Number of connected components (0 for an empty set).
+    pub components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Number of edges (pairs within `Rt`).
+    pub edges: usize,
+    /// For each node, the distance to its closest other working node;
+    /// `None` when fewer than two nodes exist.
+    pub max_nearest_neighbor: Option<f64>,
+    /// Mean nearest-working-neighbor distance, `None` for < 2 nodes.
+    pub mean_nearest_neighbor: Option<f64>,
+}
+
+impl ConnectivityReport {
+    /// Whether the graph is connected (a single component, or trivially so).
+    pub fn is_connected(&self) -> bool {
+        self.components <= 1
+    }
+}
+
+/// Analyzes the graph whose vertices are `nodes` and whose edges join pairs
+/// at distance ≤ `radius`.
+///
+/// Cost is near-linear using a spatial grid; suitable to run at every
+/// metric-sampling tick.
+///
+/// # Panics
+///
+/// Panics if `radius` is not strictly positive and finite, or any node has
+/// negative/non-finite coordinates.
+pub fn analyze(field: Field, nodes: &[Point], radius: f64) -> ConnectivityReport {
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "connectivity radius must be positive, got {radius}"
+    );
+    let mut grid = SpatialGrid::new(field, radius);
+    for (i, &p) in nodes.iter().enumerate() {
+        grid.insert(i, p);
+    }
+    let mut uf = UnionFind::new(nodes.len());
+    let mut edges = 0usize;
+    let mut nearest = vec![f64::INFINITY; nodes.len()];
+    for (i, &p) in nodes.iter().enumerate() {
+        for (j, q) in grid.within_entries(p, radius) {
+            if j == i {
+                continue;
+            }
+            let d = p.distance(q);
+            if d < nearest[i] {
+                nearest[i] = d;
+            }
+            if j > i {
+                edges += 1;
+                uf.union(i, j);
+            }
+        }
+    }
+    // Nearest neighbor may be farther than `radius`; fall back to a scan for
+    // nodes whose radius-disc was empty (rare in PEAS-dense sets).
+    for i in 0..nodes.len() {
+        if nearest[i].is_infinite() && nodes.len() > 1 {
+            for (j, &q) in nodes.iter().enumerate() {
+                if i != j {
+                    nearest[i] = nearest[i].min(nodes[i].distance(q));
+                }
+            }
+        }
+    }
+    let (max_nn, mean_nn) = if nodes.len() >= 2 {
+        let max = nearest.iter().copied().fold(f64::MIN, f64::max);
+        let mean = nearest.iter().sum::<f64>() / nodes.len() as f64;
+        (Some(max), Some(mean))
+    } else {
+        (None, None)
+    };
+    ConnectivityReport {
+        node_count: nodes.len(),
+        components: uf.component_count(),
+        largest_component: if nodes.is_empty() {
+            0
+        } else {
+            uf.largest_component()
+        },
+        edges,
+        max_nearest_neighbor: max_nn,
+        mean_nearest_neighbor: mean_nn,
+    }
+}
+
+/// Whether two specific nodes can reach each other over the radius graph.
+pub fn reachable(field: Field, nodes: &[Point], radius: f64, a: usize, b: usize) -> bool {
+    assert!(a < nodes.len() && b < nodes.len(), "indices out of range");
+    if a == b {
+        return true;
+    }
+    let mut grid = SpatialGrid::new(field, radius);
+    for (i, &p) in nodes.iter().enumerate() {
+        grid.insert(i, p);
+    }
+    let mut uf = UnionFind::new(nodes.len());
+    for (i, &p) in nodes.iter().enumerate() {
+        for (j, _) in grid.within_entries(p, radius) {
+            if j > i {
+                uf.union(i, j);
+            }
+        }
+    }
+    uf.connected(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Field {
+        Field::new(50.0, 50.0)
+    }
+
+    #[test]
+    fn empty_set_report() {
+        let r = analyze(field(), &[], 10.0);
+        assert_eq!(r.node_count, 0);
+        assert_eq!(r.components, 0);
+        assert_eq!(r.largest_component, 0);
+        assert!(r.is_connected());
+        assert_eq!(r.max_nearest_neighbor, None);
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        let r = analyze(field(), &[Point::new(5.0, 5.0)], 10.0);
+        assert_eq!(r.components, 1);
+        assert!(r.is_connected());
+        assert_eq!(r.max_nearest_neighbor, None);
+    }
+
+    #[test]
+    fn chain_within_radius_is_connected() {
+        let nodes: Vec<Point> = (0..6).map(|i| Point::new(8.0 * i as f64, 0.0)).collect();
+        let r = analyze(field(), &nodes, 10.0);
+        assert!(r.is_connected());
+        assert_eq!(r.edges, 5);
+        assert_eq!(r.largest_component, 6);
+        assert_eq!(r.max_nearest_neighbor, Some(8.0));
+    }
+
+    #[test]
+    fn gap_splits_components() {
+        let nodes = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(40.0, 40.0),
+        ];
+        let r = analyze(field(), &nodes, 10.0);
+        assert_eq!(r.components, 2);
+        assert!(!r.is_connected());
+        assert_eq!(r.largest_component, 2);
+        // Isolated node's nearest neighbor found via fallback scan.
+        let expected = Point::new(40.0, 40.0).distance(Point::new(5.0, 0.0));
+        assert!((r.max_nearest_neighbor.unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reachability_matches_components() {
+        let nodes = vec![
+            Point::new(0.0, 0.0),
+            Point::new(9.0, 0.0),
+            Point::new(18.0, 0.0),
+            Point::new(45.0, 45.0),
+        ];
+        assert!(reachable(field(), &nodes, 10.0, 0, 2));
+        assert!(!reachable(field(), &nodes, 10.0, 0, 3));
+        assert!(reachable(field(), &nodes, 10.0, 3, 3));
+    }
+
+    #[test]
+    fn nearest_neighbor_stats() {
+        let nodes = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+        ];
+        let r = analyze(field(), &nodes, 50.0);
+        // nearest: node0 -> 3, node1 -> 3, node2 -> 4
+        assert_eq!(r.max_nearest_neighbor, Some(4.0));
+        let mean = (3.0 + 3.0 + 4.0) / 3.0;
+        assert!((r.mean_nearest_neighbor.unwrap() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_factor_value() {
+        assert!((CONNECTIVITY_FACTOR - (1.0 + 5.0f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_edge_inclusive() {
+        let nodes = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let r = analyze(field(), &nodes, 10.0);
+        assert!(r.is_connected());
+        assert_eq!(r.edges, 1);
+    }
+}

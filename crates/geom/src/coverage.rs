@@ -1,0 +1,234 @@
+//! K-coverage measurement on a sampling lattice.
+//!
+//! Section 5.2 of the paper defines *K-coverage* as "the percentage of the
+//! field size monitored by at least K working nodes". We measure it the way
+//! the paper's simulator must have: lay a lattice of sample points over the
+//! field, count for each point the working nodes within the sensing range,
+//! and report the fraction of points with count ≥ K.
+
+use crate::field::Field;
+use crate::point::Point;
+
+/// A reusable lattice of sample points for coverage measurements.
+///
+/// # Examples
+///
+/// ```
+/// use peas_geom::{CoverageGrid, Field, Point};
+///
+/// let grid = CoverageGrid::new(Field::new(20.0, 20.0), 1.0);
+/// // One node in the center with sensing range 30 m covers everything.
+/// let cov = grid.k_coverage(&[Point::new(10.0, 10.0)], 30.0, 1);
+/// assert_eq!(cov, 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoverageGrid {
+    field: Field,
+    resolution: f64,
+    cols: usize,
+    rows: usize,
+}
+
+impl CoverageGrid {
+    /// Creates a lattice with `resolution` meters between sample points.
+    ///
+    /// Sample points sit at cell centers: `((i + ½)·res, (j + ½)·res)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not strictly positive and finite.
+    pub fn new(field: Field, resolution: f64) -> CoverageGrid {
+        assert!(
+            resolution.is_finite() && resolution > 0.0,
+            "coverage resolution must be positive, got {resolution}"
+        );
+        let cols = (field.width() / resolution).ceil().max(1.0) as usize;
+        let rows = (field.height() / resolution).ceil().max(1.0) as usize;
+        CoverageGrid {
+            field,
+            resolution,
+            cols,
+            rows,
+        }
+    }
+
+    /// The number of sample points.
+    pub fn sample_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> Field {
+        self.field
+    }
+
+    /// Per-sample-point counts of working nodes within `sensing_range`.
+    ///
+    /// Rasterizes one disc per working node, so the cost is
+    /// O(workers · (range/resolution)²) rather than O(samples · workers).
+    pub fn coverage_counts(&self, working: &[Point], sensing_range: f64) -> Vec<u32> {
+        let mut counts = vec![0u32; self.sample_count()];
+        let r2 = sensing_range * sensing_range;
+        for &w in working {
+            let lo_i = (((w.x - sensing_range) / self.resolution - 0.5).floor()).max(0.0) as usize;
+            let lo_j = (((w.y - sensing_range) / self.resolution - 0.5).floor()).max(0.0) as usize;
+            let hi_i = ((((w.x + sensing_range) / self.resolution) as usize).max(lo_i)).min(self.cols.saturating_sub(1));
+            let hi_j = ((((w.y + sensing_range) / self.resolution) as usize).max(lo_j)).min(self.rows.saturating_sub(1));
+            for j in lo_j..=hi_j {
+                let y = (j as f64 + 0.5) * self.resolution;
+                let dy2 = (y - w.y) * (y - w.y);
+                if dy2 > r2 {
+                    continue;
+                }
+                let row = j * self.cols;
+                for (i, count) in counts[row + lo_i..=row + hi_i].iter_mut().enumerate() {
+                    let x = ((lo_i + i) as f64 + 0.5) * self.resolution;
+                    let dx = x - w.x;
+                    if dx * dx + dy2 <= r2 {
+                        *count += 1;
+                    }
+                }
+            }
+        }
+        counts
+    }
+
+    /// Fraction of the field monitored by at least `k` working nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (0-coverage is trivially 100%).
+    pub fn k_coverage(&self, working: &[Point], sensing_range: f64, k: u32) -> f64 {
+        assert!(k > 0, "k-coverage requires k >= 1");
+        let counts = self.coverage_counts(working, sensing_range);
+        let covered = counts.iter().filter(|&&c| c >= k).count();
+        covered as f64 / counts.len() as f64
+    }
+
+    /// K-coverage for every `k` in `1..=max_k` from a single rasterization.
+    ///
+    /// Returns a vector `v` with `v[k-1]` = k-coverage. More efficient than
+    /// calling [`CoverageGrid::k_coverage`] repeatedly; the simulator samples
+    /// 3-, 4- and 5-coverage together (Fig 9).
+    pub fn k_coverages(&self, working: &[Point], sensing_range: f64, max_k: u32) -> Vec<f64> {
+        assert!(max_k > 0, "need at least k = 1");
+        let counts = self.coverage_counts(working, sensing_range);
+        let total = counts.len() as f64;
+        let mut hist = vec![0usize; max_k as usize + 1];
+        for &c in &counts {
+            hist[(c.min(max_k)) as usize] += 1;
+        }
+        // Suffix sums: points with count >= k.
+        let mut acc = 0usize;
+        let mut at_least = vec![0usize; max_k as usize + 1];
+        for k in (0..=max_k as usize).rev() {
+            acc += hist[k];
+            at_least[k] = acc;
+        }
+        (1..=max_k as usize).map(|k| at_least[k] as f64 / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> CoverageGrid {
+        CoverageGrid::new(Field::new(20.0, 20.0), 1.0)
+    }
+
+    #[test]
+    fn empty_working_set_means_zero_coverage() {
+        assert_eq!(grid().k_coverage(&[], 10.0, 1), 0.0);
+    }
+
+    #[test]
+    fn giant_range_covers_everything() {
+        let g = grid();
+        let cov = g.k_coverage(&[Point::new(10.0, 10.0)], 100.0, 1);
+        assert_eq!(cov, 1.0);
+    }
+
+    #[test]
+    fn coverage_fraction_matches_disc_area() {
+        // One node centered in a large field: coverage ≈ π r² / area.
+        let g = CoverageGrid::new(Field::new(100.0, 100.0), 0.5);
+        let cov = g.k_coverage(&[Point::new(50.0, 50.0)], 10.0, 1);
+        let expected = std::f64::consts::PI * 100.0 / 10_000.0;
+        assert!(
+            (cov - expected).abs() < 0.005,
+            "measured {cov}, analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn k2_requires_two_nodes() {
+        let g = grid();
+        let one = [Point::new(10.0, 10.0)];
+        let two = [Point::new(10.0, 10.0), Point::new(10.0, 10.0)];
+        assert_eq!(g.k_coverage(&one, 50.0, 2), 0.0);
+        assert_eq!(g.k_coverage(&two, 50.0, 2), 1.0);
+    }
+
+    #[test]
+    fn k_coverages_are_monotone_in_k() {
+        let g = grid();
+        let working: Vec<Point> = (0..10)
+            .map(|i| Point::new(2.0 * i as f64, 10.0))
+            .collect();
+        let covs = g.k_coverages(&working, 6.0, 5);
+        assert_eq!(covs.len(), 5);
+        for w in covs.windows(2) {
+            assert!(w[0] >= w[1], "k-coverage must not increase with k: {covs:?}");
+        }
+        // And each matches the individual computation.
+        for (i, &c) in covs.iter().enumerate() {
+            assert_eq!(c, g.k_coverage(&working, 6.0, i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn adding_a_worker_never_reduces_coverage() {
+        let g = grid();
+        let mut working = vec![Point::new(3.0, 3.0), Point::new(15.0, 12.0)];
+        let before = g.k_coverage(&working, 5.0, 1);
+        working.push(Point::new(9.0, 9.0));
+        let after = g.k_coverage(&working, 5.0, 1);
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn rasterized_counts_match_brute_force() {
+        use peas_des::rng::SimRng;
+        let g = CoverageGrid::new(Field::new(30.0, 30.0), 1.5);
+        let mut rng = SimRng::new(77);
+        let working: Vec<Point> = (0..40)
+            .map(|_| Point::new(rng.range_f64(0.0, 30.0), rng.range_f64(0.0, 30.0)))
+            .collect();
+        let fast = g.coverage_counts(&working, 7.0);
+        // Brute force over all sample points.
+        let mut brute = vec![0u32; g.sample_count()];
+        for j in 0..g.rows {
+            for i in 0..g.cols {
+                let p = Point::new((i as f64 + 0.5) * 1.5, (j as f64 + 0.5) * 1.5);
+                brute[j * g.cols + i] =
+                    working.iter().filter(|w| w.within(p, 7.0)).count() as u32;
+            }
+        }
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn sample_count_scales_with_resolution() {
+        let coarse = CoverageGrid::new(Field::paper(), 5.0);
+        let fine = CoverageGrid::new(Field::paper(), 1.0);
+        assert_eq!(coarse.sample_count(), 100);
+        assert_eq!(fine.sample_count(), 2500);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        let _ = grid().k_coverage(&[], 1.0, 0);
+    }
+}

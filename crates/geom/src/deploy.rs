@@ -1,0 +1,242 @@
+//! Sensor deployment: generating node positions on the field.
+//!
+//! The paper deploys nodes "uniformly distributed in the field ... and
+//! stationary once deployed" (Section 5.2). Section 4 ("Distribution of
+//! deployed nodes") discusses uneven deployments, so we also provide grid
+//! and clustered generators for the robustness experiments and ablations.
+
+use peas_des::rng::SimRng;
+
+use crate::field::Field;
+use crate::point::Point;
+
+/// A deployment strategy for placing `n` sensors on a [`Field`].
+///
+/// # Examples
+///
+/// ```
+/// use peas_des::rng::SimRng;
+/// use peas_geom::{Deployment, Field};
+///
+/// let field = Field::paper();
+/// let mut rng = SimRng::new(1);
+/// let positions = Deployment::Uniform.generate(field, 160, &mut rng);
+/// assert_eq!(positions.len(), 160);
+/// assert!(positions.iter().all(|&p| field.contains(p)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Deployment {
+    /// Independent uniform placement — the paper's evaluation setting.
+    Uniform,
+    /// A jittered square lattice: one node per lattice cell, uniformly
+    /// placed inside it. Maximally even; used in ablations.
+    JitteredGrid,
+    /// Gaussian clusters around `centers` uniformly chosen cluster seeds,
+    /// with the given standard deviation in meters. Models the uneven
+    /// air-drop deployments Section 4 warns about.
+    Clustered {
+        /// Number of cluster seed points.
+        centers: usize,
+        /// Spread of each cluster, in meters.
+        std_dev: f64,
+    },
+    /// Exactly these positions (tests and hand-crafted topologies). The
+    /// requested count must match the number of positions.
+    Explicit(Vec<Point>),
+}
+
+impl Deployment {
+    /// Generates `n` stationary node positions inside `field`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Clustered` deployment has zero centers or a non-positive
+    /// spread.
+    pub fn generate(&self, field: Field, n: usize, rng: &mut SimRng) -> Vec<Point> {
+        match *self {
+            Deployment::Uniform => (0..n)
+                .map(|_| uniform_point(field, rng))
+                .collect(),
+            Deployment::JitteredGrid => jittered_grid(field, n, rng),
+            Deployment::Explicit(ref positions) => {
+                assert_eq!(
+                    positions.len(),
+                    n,
+                    "explicit deployment has {} positions but {} were requested",
+                    positions.len(),
+                    n
+                );
+                assert!(
+                    positions.iter().all(|&p| field.contains(p)),
+                    "explicit deployment positions must lie within the field"
+                );
+                positions.clone()
+            }
+            Deployment::Clustered { centers, std_dev } => {
+                assert!(centers > 0, "clustered deployment needs at least one center");
+                assert!(
+                    std_dev.is_finite() && std_dev > 0.0,
+                    "cluster spread must be positive"
+                );
+                let seeds: Vec<Point> =
+                    (0..centers).map(|_| uniform_point(field, rng)).collect();
+                (0..n)
+                    .map(|_| {
+                        let seed = seeds[rng.index(seeds.len())];
+                        let p = Point::new(
+                            rng.normal(seed.x, std_dev),
+                            rng.normal(seed.y, std_dev),
+                        );
+                        field.clamp(p)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+fn uniform_point(field: Field, rng: &mut SimRng) -> Point {
+    Point::new(
+        rng.range_f64(0.0, field.width()),
+        rng.range_f64(0.0, field.height()),
+    )
+}
+
+/// Places `n` nodes on an approximately square lattice with one node
+/// jittered uniformly inside each cell; surplus cells (when the lattice has
+/// more cells than nodes) are skipped uniformly.
+fn jittered_grid(field: Field, n: usize, rng: &mut SimRng) -> Vec<Point> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let aspect = field.width() / field.height();
+    let rows = ((n as f64 / aspect).sqrt().ceil() as usize).max(1);
+    let cols = n.div_ceil(rows);
+    let cell_w = field.width() / cols as f64;
+    let cell_h = field.height() / rows as f64;
+
+    let mut cells: Vec<(usize, usize)> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| (r, c)))
+        .collect();
+    rng.shuffle(&mut cells);
+    cells.truncate(n);
+    cells
+        .into_iter()
+        .map(|(r, c)| {
+            Point::new(
+                c as f64 * cell_w + rng.range_f64(0.0, cell_w),
+                r as f64 * cell_h + rng.range_f64(0.0, cell_h),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fills_field() {
+        let field = Field::paper();
+        let mut rng = SimRng::new(3);
+        let pts = Deployment::Uniform.generate(field, 800, &mut rng);
+        assert_eq!(pts.len(), 800);
+        assert!(pts.iter().all(|&p| field.contains(p)));
+        // All four quadrants should receive nodes.
+        let c = field.center();
+        let quads = [
+            pts.iter().filter(|p| p.x < c.x && p.y < c.y).count(),
+            pts.iter().filter(|p| p.x >= c.x && p.y < c.y).count(),
+            pts.iter().filter(|p| p.x < c.x && p.y >= c.y).count(),
+            pts.iter().filter(|p| p.x >= c.x && p.y >= c.y).count(),
+        ];
+        assert!(quads.iter().all(|&q| q > 100), "quadrants {quads:?}");
+    }
+
+    #[test]
+    fn uniform_is_reproducible_per_seed() {
+        let field = Field::paper();
+        let a = Deployment::Uniform.generate(field, 50, &mut SimRng::new(9));
+        let b = Deployment::Uniform.generate(field, 50, &mut SimRng::new(9));
+        assert_eq!(a, b);
+        let c = Deployment::Uniform.generate(field, 50, &mut SimRng::new(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jittered_grid_exact_count_and_bounds() {
+        let field = Field::new(40.0, 20.0);
+        let mut rng = SimRng::new(5);
+        for n in [1, 7, 64, 100, 161] {
+            let pts = Deployment::JitteredGrid.generate(field, n, &mut rng);
+            assert_eq!(pts.len(), n);
+            assert!(pts.iter().all(|&p| field.contains(p)));
+        }
+    }
+
+    #[test]
+    fn jittered_grid_is_more_even_than_uniform() {
+        // Compare dispersion via min pairwise distance: the lattice should
+        // avoid the very close pairs uniform placement produces.
+        let field = Field::paper();
+        let min_dist = |pts: &[Point]| {
+            let mut best = f64::INFINITY;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    best = best.min(pts[i].distance(pts[j]));
+                }
+            }
+            best
+        };
+        let grid = Deployment::JitteredGrid.generate(field, 100, &mut SimRng::new(8));
+        let unif = Deployment::Uniform.generate(field, 100, &mut SimRng::new(8));
+        assert!(min_dist(&grid) > min_dist(&unif));
+    }
+
+    #[test]
+    fn clustered_concentrates_mass() {
+        let field = Field::paper();
+        let mut rng = SimRng::new(7);
+        let pts = Deployment::Clustered {
+            centers: 2,
+            std_dev: 2.0,
+        }
+        .generate(field, 400, &mut rng);
+        assert_eq!(pts.len(), 400);
+        assert!(pts.iter().all(|&p| field.contains(p)));
+        // With tight clusters, the median distance to the nearest of the two
+        // cluster modes is tiny compared to a uniform deployment: check that
+        // most nodes sit within a few std-devs of *some* other 20 nodes.
+        let close_pairs = |pts: &[Point], r: f64| {
+            pts.iter()
+                .map(|a| pts.iter().filter(|b| a.within(**b, r)).count() - 1)
+                .filter(|&c| c >= 20)
+                .count()
+        };
+        let clustered_dense = close_pairs(&pts, 4.0);
+        let unif = Deployment::Uniform.generate(field, 400, &mut SimRng::new(7));
+        let uniform_dense = close_pairs(&unif, 4.0);
+        assert!(
+            clustered_dense > uniform_dense * 2,
+            "clustered {clustered_dense} vs uniform {uniform_dense}"
+        );
+    }
+
+    #[test]
+    fn zero_nodes_is_empty() {
+        let field = Field::paper();
+        let mut rng = SimRng::new(1);
+        assert!(Deployment::Uniform.generate(field, 0, &mut rng).is_empty());
+        assert!(Deployment::JitteredGrid.generate(field, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn clustered_rejects_zero_centers() {
+        let _ = Deployment::Clustered {
+            centers: 0,
+            std_dev: 1.0,
+        }
+        .generate(Field::paper(), 10, &mut SimRng::new(1));
+    }
+}

@@ -1,0 +1,136 @@
+//! The rectangular deployment field.
+
+use crate::point::Point;
+
+/// An axis-aligned rectangular field `[0, width] × [0, height]`, in meters.
+///
+/// The paper's evaluation uses a 50 × 50 m field (Section 5.2);
+/// [`Field::paper`] constructs exactly that.
+///
+/// # Examples
+///
+/// ```
+/// use peas_geom::{Field, Point};
+///
+/// let field = Field::paper();
+/// assert_eq!(field.area(), 2500.0);
+/// assert!(field.contains(Point::new(25.0, 25.0)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Field {
+    width: f64,
+    height: f64,
+}
+
+impl Field {
+    /// Creates a `width × height` meter field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    pub fn new(width: f64, height: f64) -> Field {
+        assert!(
+            width.is_finite() && height.is_finite() && width > 0.0 && height > 0.0,
+            "field dimensions must be positive and finite, got {width} x {height}"
+        );
+        Field { width, height }
+    }
+
+    /// The 50 × 50 m field of the paper's evaluation (Section 5.2).
+    pub fn paper() -> Field {
+        Field::new(50.0, 50.0)
+    }
+
+    /// Width in meters.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Height in meters.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Area in square meters.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Whether `p` lies within the field (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Clamps `p` to the field.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// The four corners, counter-clockwise from the origin.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::new(0.0, 0.0),
+            Point::new(self.width, 0.0),
+            Point::new(self.width, self.height),
+            Point::new(0.0, self.height),
+        ]
+    }
+
+    /// The center point.
+    pub fn center(&self) -> Point {
+        Point::new(self.width / 2.0, self.height / 2.0)
+    }
+
+    /// The field diagonal length — the longest possible node separation.
+    pub fn diagonal(&self) -> f64 {
+        (self.width * self.width + self.height * self.height).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_field_matches_section_5_2() {
+        let f = Field::paper();
+        assert_eq!(f.width(), 50.0);
+        assert_eq!(f.height(), 50.0);
+        assert_eq!(f.area(), 2500.0);
+    }
+
+    #[test]
+    fn contains_is_boundary_inclusive() {
+        let f = Field::new(10.0, 20.0);
+        assert!(f.contains(Point::new(0.0, 0.0)));
+        assert!(f.contains(Point::new(10.0, 20.0)));
+        assert!(!f.contains(Point::new(10.001, 5.0)));
+        assert!(!f.contains(Point::new(-0.001, 5.0)));
+    }
+
+    #[test]
+    fn clamp_projects_into_field() {
+        let f = Field::new(10.0, 10.0);
+        assert_eq!(f.clamp(Point::new(-5.0, 15.0)), Point::new(0.0, 10.0));
+        assert_eq!(f.clamp(Point::new(3.0, 4.0)), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn corners_and_center() {
+        let f = Field::new(4.0, 2.0);
+        assert_eq!(f.corners()[2], Point::new(4.0, 2.0));
+        assert_eq!(f.center(), Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn diagonal_length() {
+        let f = Field::new(30.0, 40.0);
+        assert!((f.diagonal() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_width_rejected() {
+        let _ = Field::new(0.0, 10.0);
+    }
+}

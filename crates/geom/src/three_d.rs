@@ -1,0 +1,329 @@
+//! Three-dimensional variant of the PEAS model.
+//!
+//! Footnote 5 of the paper (Section 3): "The model applies to
+//! three-dimensional as well." This module provides the 3-D counterparts —
+//! points, a box-shaped volume, uniform deployment, K-coverage over a
+//! voxel lattice and the working-graph connectivity analysis — so that the
+//! pea-packing argument can be checked in 3-D too (see
+//! `peas-analysis`-style validation in this module's tests and the
+//! `paper` binary's documentation).
+
+use peas_des::rng::SimRng;
+
+use crate::unionfind::UnionFind;
+
+/// A point in 3-space, meters.
+///
+/// # Examples
+///
+/// ```
+/// use peas_geom::three_d::Point3;
+///
+/// let a = Point3::new(0.0, 0.0, 0.0);
+/// let b = Point3::new(1.0, 2.0, 2.0);
+/// assert_eq!(a.distance(b), 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point3 {
+    /// X coordinate, meters.
+    pub x: f64,
+    /// Y coordinate, meters.
+    pub y: f64,
+    /// Z coordinate, meters.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a point from coordinates.
+    pub const fn new(x: f64, y: f64, z: f64) -> Point3 {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point3) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared distance — cheaper for range tests.
+    pub fn distance_squared(self, other: Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Whether `other` lies within `range` (inclusive).
+    pub fn within(self, other: Point3, range: f64) -> bool {
+        self.distance_squared(other) <= range * range
+    }
+}
+
+/// An axis-aligned box volume `[0,w] × [0,d] × [0,h]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Volume {
+    width: f64,
+    depth: f64,
+    height: f64,
+}
+
+impl Volume {
+    /// Creates a `w × d × h` meter volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is not strictly positive and finite.
+    pub fn new(width: f64, depth: f64, height: f64) -> Volume {
+        assert!(
+            width > 0.0 && depth > 0.0 && height > 0.0,
+            "volume dimensions must be positive"
+        );
+        assert!(
+            width.is_finite() && depth.is_finite() && height.is_finite(),
+            "volume dimensions must be finite"
+        );
+        Volume {
+            width,
+            depth,
+            height,
+        }
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Depth (y extent).
+    pub fn depth(&self) -> f64 {
+        self.depth
+    }
+
+    /// Height (z extent).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Volume in cubic meters.
+    pub fn cubic_meters(&self) -> f64 {
+        self.width * self.depth * self.height
+    }
+
+    /// Whether `p` lies inside (boundary inclusive).
+    pub fn contains(&self, p: Point3) -> bool {
+        (0.0..=self.width).contains(&p.x)
+            && (0.0..=self.depth).contains(&p.y)
+            && (0.0..=self.height).contains(&p.z)
+    }
+
+    /// Uniformly random positions inside the volume.
+    pub fn deploy_uniform(&self, n: usize, rng: &mut SimRng) -> Vec<Point3> {
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.range_f64(0.0, self.width),
+                    rng.range_f64(0.0, self.depth),
+                    rng.range_f64(0.0, self.height),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Greedy PEAS-like working-set construction in 3-D: scan candidates in
+/// the given order; activate any candidate with no active node within
+/// `rp` — exactly what the probing rule converges to on a static
+/// population.
+pub fn greedy_working_set(candidates: &[Point3], rp: f64) -> Vec<Point3> {
+    assert!(rp > 0.0, "probing range must be positive");
+    let mut working: Vec<Point3> = Vec::new();
+    for &c in candidates {
+        if !working.iter().any(|w| w.within(c, rp)) {
+            working.push(c);
+        }
+    }
+    working
+}
+
+/// Fraction of a voxel lattice covered by at least `k` working nodes
+/// within `sensing_range` (the 3-D K-coverage metric).
+///
+/// # Panics
+///
+/// Panics if `resolution` is not positive or `k == 0`.
+pub fn k_coverage(
+    volume: Volume,
+    working: &[Point3],
+    sensing_range: f64,
+    resolution: f64,
+    k: u32,
+) -> f64 {
+    assert!(resolution > 0.0, "resolution must be positive");
+    assert!(k > 0, "k must be at least 1");
+    let nx = (volume.width() / resolution).ceil().max(1.0) as usize;
+    let ny = (volume.depth() / resolution).ceil().max(1.0) as usize;
+    let nz = (volume.height() / resolution).ceil().max(1.0) as usize;
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    for iz in 0..nz {
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let p = Point3::new(
+                    (ix as f64 + 0.5) * resolution,
+                    (iy as f64 + 0.5) * resolution,
+                    (iz as f64 + 0.5) * resolution,
+                );
+                total += 1;
+                let count = working
+                    .iter()
+                    .filter(|w| w.within(p, sensing_range))
+                    .count() as u32;
+                if count >= k {
+                    covered += 1;
+                }
+            }
+        }
+    }
+    covered as f64 / total as f64
+}
+
+/// Connectivity summary of the 3-D working graph at `radius`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Connectivity3 {
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Connected components.
+    pub components: usize,
+    /// Largest nearest-neighbor distance, `None` below two nodes.
+    pub max_nearest_neighbor: Option<f64>,
+}
+
+impl Connectivity3 {
+    /// Whether the graph is connected (or trivially so).
+    pub fn is_connected(&self) -> bool {
+        self.components <= 1
+    }
+}
+
+/// Analyzes the radius graph over `nodes` (O(n²); 3-D working sets in the
+/// validation experiments are small enough).
+pub fn analyze(nodes: &[Point3], radius: f64) -> Connectivity3 {
+    assert!(radius > 0.0, "radius must be positive");
+    let mut uf = UnionFind::new(nodes.len());
+    let mut nearest = vec![f64::INFINITY; nodes.len()];
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            let d = nodes[i].distance(nodes[j]);
+            if d <= radius {
+                uf.union(i, j);
+            }
+            if d < nearest[i] {
+                nearest[i] = d;
+            }
+            if d < nearest[j] {
+                nearest[j] = d;
+            }
+        }
+    }
+    let max_nn = if nodes.len() >= 2 {
+        Some(nearest.iter().copied().fold(f64::MIN, f64::max))
+    } else {
+        None
+    };
+    Connectivity3 {
+        node_count: nodes.len(),
+        components: uf.component_count(),
+        max_nearest_neighbor: max_nn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volume() -> Volume {
+        Volume::new(30.0, 30.0, 30.0)
+    }
+
+    #[test]
+    fn point3_distance() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 6.0, 3.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert!(a.within(b, 5.0));
+        assert!(!a.within(b, 4.99));
+    }
+
+    #[test]
+    fn deployment_stays_inside() {
+        let mut rng = SimRng::new(1);
+        let pts = volume().deploy_uniform(500, &mut rng);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|&p| volume().contains(p)));
+    }
+
+    #[test]
+    fn greedy_set_is_rp_separated_and_covering() {
+        let mut rng = SimRng::new(2);
+        let candidates = volume().deploy_uniform(3_000, &mut rng);
+        let rp = 4.0;
+        let working = greedy_working_set(&candidates, rp);
+        // Pairwise separation.
+        for i in 0..working.len() {
+            for j in (i + 1)..working.len() {
+                assert!(working[i].distance(working[j]) > rp);
+            }
+        }
+        // Every candidate is within rp of some working node (coverage of
+        // the deployed population, the probing rule's guarantee).
+        for c in &candidates {
+            assert!(working.iter().any(|w| w.within(*c, rp)));
+        }
+    }
+
+    #[test]
+    fn three_d_connectivity_bound_holds_like_section_3() {
+        // In 3-D the analogous sufficient condition uses the diagonal of
+        // the enclosing cells; empirically the 2-D bound (1+sqrt5)Rp also
+        // connects dense 3-D working sets with margin.
+        let mut rng = SimRng::new(3);
+        let candidates = volume().deploy_uniform(4_000, &mut rng);
+        let rp = 4.0;
+        let working = greedy_working_set(&candidates, rp);
+        let bound = crate::CONNECTIVITY_FACTOR * rp;
+        let report = analyze(&working, bound);
+        assert!(report.is_connected(), "{} components", report.components);
+        assert!(report.max_nearest_neighbor.unwrap() <= bound);
+    }
+
+    #[test]
+    fn k_coverage_full_with_dense_set() {
+        let mut rng = SimRng::new(4);
+        let candidates = volume().deploy_uniform(3_000, &mut rng);
+        let working = greedy_working_set(&candidates, 4.0);
+        let cov1 = k_coverage(volume(), &working, 10.0, 3.0, 1);
+        assert!(cov1 > 0.99, "1-coverage {cov1}");
+        let cov4 = k_coverage(volume(), &working, 10.0, 3.0, 4);
+        assert!(cov4 > 0.9, "4-coverage {cov4}");
+        // Monotone in k.
+        assert!(cov1 >= cov4);
+    }
+
+    #[test]
+    fn k_coverage_empty_set_is_zero() {
+        assert_eq!(k_coverage(volume(), &[], 10.0, 5.0, 1), 0.0);
+    }
+
+    #[test]
+    fn single_point_connectivity() {
+        let one = [Point3::new(1.0, 1.0, 1.0)];
+        let r = analyze(&one, 5.0);
+        assert!(r.is_connected());
+        assert_eq!(r.max_nearest_neighbor, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn volume_rejects_zero_dimension() {
+        let _ = Volume::new(0.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+
+use peas_des::rng::SimRng;
+use peas_geom::three_d::{greedy_working_set, Volume};
+use peas_geom::{connectivity, CoverageGrid, Deployment, Field, Point, SpatialGrid, UnionFind};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..50.0, 0.0f64..50.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Distance is a metric: symmetric, non-negative, triangle inequality.
+    #[test]
+    fn distance_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance(b) >= 0.0);
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    /// Spatial grid range queries agree with brute force for random inputs.
+    #[test]
+    fn grid_matches_brute_force(
+        pts in prop::collection::vec(arb_point(), 0..150),
+        center in arb_point(),
+        radius in 0.1f64..20.0,
+        cell in 1.0f64..12.0,
+    ) {
+        let field = Field::new(50.0, 50.0);
+        let mut grid = SpatialGrid::new(field, cell);
+        for (i, &p) in pts.iter().enumerate() {
+            grid.insert(i, p);
+        }
+        let mut fast: Vec<usize> = grid.within(center, radius).collect();
+        let mut brute: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.within(center, radius))
+            .map(|(i, _)| i)
+            .collect();
+        fast.sort_unstable();
+        brute.sort_unstable();
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// K-coverage is monotone: more working nodes never lower it, larger k
+    /// never raises it.
+    #[test]
+    fn coverage_monotonicity(
+        pts in prop::collection::vec(arb_point(), 1..60),
+        extra in arb_point(),
+        range in 2.0f64..15.0,
+    ) {
+        let grid = CoverageGrid::new(Field::new(50.0, 50.0), 2.5);
+        let covs = grid.k_coverages(&pts, range, 4);
+        for w in covs.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        let mut more = pts.clone();
+        more.push(extra);
+        let covs_more = grid.k_coverages(&more, range, 4);
+        for k in 0..4 {
+            prop_assert!(covs_more[k] >= covs[k] - 1e-12);
+        }
+    }
+
+    /// Union-find component count equals the count from a BFS over the same
+    /// edge set.
+    #[test]
+    fn unionfind_matches_bfs(
+        n in 1usize..60,
+        edges in prop::collection::vec((0usize..60, 0usize..60), 0..120),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &edges {
+            uf.union(a, b);
+        }
+        // BFS
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                for &w in &adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(uf.component_count(), components);
+    }
+
+    /// Connectivity analysis is radius-monotone: growing the radius never
+    /// increases the number of components.
+    #[test]
+    fn connectivity_radius_monotone(
+        pts in prop::collection::vec(arb_point(), 2..50),
+        r1 in 1.0f64..10.0,
+        dr in 0.0f64..10.0,
+    ) {
+        let field = Field::new(50.0, 50.0);
+        let small = connectivity::analyze(field, &pts, r1);
+        let large = connectivity::analyze(field, &pts, r1 + dr + 0.001);
+        prop_assert!(large.components <= small.components);
+        prop_assert!(large.edges >= small.edges);
+    }
+
+    /// Every deployment keeps all nodes inside the field and produces the
+    /// requested count.
+    #[test]
+    fn deployments_respect_field(seed in any::<u64>(), n in 0usize..300) {
+        let field = Field::new(50.0, 50.0);
+        for deployment in [
+            Deployment::Uniform,
+            Deployment::JitteredGrid,
+            Deployment::Clustered { centers: 3, std_dev: 4.0 },
+        ] {
+            let pts = deployment.generate(field, n, &mut SimRng::new(seed));
+            prop_assert_eq!(pts.len(), n);
+            prop_assert!(pts.iter().all(|&p| field.contains(p)));
+        }
+    }
+
+    /// 3-D greedy working sets are Rp-separated and cover every candidate
+    /// (the probing-rule invariant, footnote 5's claim that the model
+    /// generalizes to 3-D).
+    #[test]
+    fn greedy_3d_working_set_invariants(
+        seed in any::<u64>(),
+        n in 10usize..400,
+        rp in 2.0f64..8.0,
+    ) {
+        let volume = Volume::new(30.0, 30.0, 30.0);
+        let mut rng = SimRng::new(seed);
+        let candidates = volume.deploy_uniform(n, &mut rng);
+        let working = greedy_working_set(&candidates, rp);
+        prop_assert!(!working.is_empty());
+        for i in 0..working.len() {
+            for j in (i + 1)..working.len() {
+                prop_assert!(working[i].distance(working[j]) > rp);
+            }
+        }
+        for c in &candidates {
+            prop_assert!(working.iter().any(|w| w.within(*c, rp)));
+        }
+    }
+}

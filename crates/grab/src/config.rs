@@ -1,0 +1,121 @@
+//! GRAB configuration.
+
+use peas_des::time::SimDuration;
+
+/// Tunables of the GRAB-style forwarding substrate.
+///
+/// [`GrabConfig::paper`] matches the Section 5.2 workload: one report every
+/// 10 s from a corner source to a corner sink, relayed by whatever nodes
+/// PEAS currently keeps working.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GrabConfig {
+    /// Period between sink cost-field refresh floods (new ADV epochs). The
+    /// field must be rebuilt as working nodes die and are replaced.
+    pub adv_period: SimDuration,
+    /// Period between data reports at the source (10 s in Section 5.2).
+    pub report_period: SimDuration,
+    /// Maximum random delay before rebroadcasting an ADV (desynchronizes
+    /// the flood to reduce collisions).
+    pub adv_delay_max: SimDuration,
+    /// Maximum random delay before forwarding a report.
+    pub forward_delay_max: SimDuration,
+    /// Credit width α: a report from a source at cost `C` may consume up to
+    /// `ceil((1+α)·C)` hops in total, widening the forwarding mesh for
+    /// robustness (the GRAB credit idea). α = 1 keeps delivery above the
+    /// paper's 90% threshold under collision losses.
+    pub credit_alpha: f64,
+    /// Transmission range for ADV and report frames (the full radio range;
+    /// 10 m in Section 5.1).
+    pub data_range: f64,
+    /// ADV frame size in bytes.
+    pub adv_bytes: usize,
+    /// Report frame size in bytes.
+    pub report_bytes: usize,
+}
+
+impl GrabConfig {
+    /// The Section 5.2 workload parameters.
+    pub fn paper() -> GrabConfig {
+        GrabConfig {
+            adv_period: SimDuration::from_secs(100),
+            report_period: SimDuration::from_secs(10),
+            adv_delay_max: SimDuration::from_millis(300),
+            forward_delay_max: SimDuration::from_millis(700),
+            credit_alpha: 1.0,
+            data_range: 10.0,
+            adv_bytes: 25,
+            report_bytes: 50,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.adv_period.is_zero() {
+            return Err("adv_period must be positive");
+        }
+        if self.report_period.is_zero() {
+            return Err("report_period must be positive");
+        }
+        if !(self.credit_alpha.is_finite() && self.credit_alpha >= 0.0) {
+            return Err("credit_alpha must be non-negative");
+        }
+        if !(self.data_range.is_finite() && self.data_range > 0.0) {
+            return Err("data_range must be positive");
+        }
+        if self.adv_bytes == 0 || self.report_bytes == 0 {
+            return Err("frame sizes must be positive");
+        }
+        Ok(())
+    }
+
+    /// Total hop budget for a report generated at cost `source_cost`.
+    pub fn hop_budget(&self, source_cost: u32) -> u32 {
+        ((1.0 + self.credit_alpha) * source_cost as f64).ceil() as u32
+    }
+}
+
+impl Default for GrabConfig {
+    fn default() -> Self {
+        GrabConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = GrabConfig::paper();
+        assert_eq!(c.report_period, SimDuration::from_secs(10));
+        assert_eq!(c.data_range, 10.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn hop_budget_widens_with_alpha() {
+        let mut c = GrabConfig::paper();
+        c.credit_alpha = 0.5;
+        assert_eq!(c.hop_budget(10), 15);
+        c.credit_alpha = 0.0;
+        assert_eq!(c.hop_budget(10), 10);
+        assert_eq!(c.hop_budget(7), 7);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = GrabConfig::paper();
+        c.credit_alpha = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = GrabConfig::paper();
+        c.report_period = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = GrabConfig::paper();
+        c.data_range = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! The GRAB endpoints: the data sink and the report source.
+//!
+//! Section 5.2: "A source and a sink are placed in opposite corners of the
+//! field. The source generates a data report every 10 seconds and the data
+//! report is delivered to the sink using the GRAB forwarding protocol."
+//! Both are infrastructure nodes: always awake, not subject to PEAS.
+
+use std::collections::HashSet;
+
+use crate::config::GrabConfig;
+use crate::msg::{GrabMessage, Report};
+use crate::relay::CostState;
+use peas_radio::NodeId;
+
+/// The sink: floods cost-field advertisements and counts delivered reports.
+///
+/// # Examples
+///
+/// ```
+/// use peas_grab::{GrabMessage, GrabSink};
+///
+/// let mut sink = GrabSink::new();
+/// assert_eq!(sink.next_adv(), GrabMessage::Adv { epoch: 1, cost: 0 });
+/// assert_eq!(sink.next_adv(), GrabMessage::Adv { epoch: 2, cost: 0 });
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GrabSink {
+    epoch: u32,
+    delivered: HashSet<(u32, u64)>,
+    duplicate_arrivals: u64,
+}
+
+impl GrabSink {
+    /// A sink that has not flooded yet.
+    pub fn new() -> GrabSink {
+        GrabSink::default()
+    }
+
+    /// Produces the next cost-field flood (a fresh epoch with cost 0).
+    pub fn next_adv(&mut self) -> GrabMessage {
+        self.epoch += 1;
+        GrabMessage::Adv {
+            epoch: self.epoch,
+            cost: 0,
+        }
+    }
+
+    /// The current flood epoch (0 before the first flood).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Accepts an arriving report copy. Returns `true` if this sequence
+    /// number is newly delivered (first copy to arrive).
+    pub fn on_report(&mut self, report: Report) -> bool {
+        if self.delivered.insert((report.source.0, report.seq)) {
+            true
+        } else {
+            self.duplicate_arrivals += 1;
+            false
+        }
+    }
+
+    /// Number of distinct reports delivered.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered.len() as u64
+    }
+
+    /// Whether a particular report arrived.
+    pub fn has_received(&self, source: NodeId, seq: u64) -> bool {
+        self.delivered.contains(&(source.0, seq))
+    }
+
+    /// Redundant copies that arrived after the first.
+    pub fn duplicate_arrivals(&self) -> u64 {
+        self.duplicate_arrivals
+    }
+}
+
+/// The source: learns its own cost from ADV floods and mints reports.
+#[derive(Clone, Debug)]
+pub struct GrabSource {
+    id: NodeId,
+    config: GrabConfig,
+    cost: CostState,
+    next_seq: u64,
+    generated: u64,
+}
+
+impl GrabSource {
+    /// A source with identity `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn new(id: NodeId, config: GrabConfig) -> GrabSource {
+        if let Err(e) = config.validate() {
+            panic!("invalid GRAB configuration: {e}");
+        }
+        GrabSource {
+            id,
+            config,
+            cost: CostState::new(),
+            next_seq: 0,
+            generated: 0,
+        }
+    }
+
+    /// Observes an ADV (the source participates in the flood like a relay
+    /// but does not rebroadcast — it only needs its own cost).
+    pub fn on_adv(&mut self, epoch: u32, neighbor_cost: u32) {
+        let _ = self.cost.observe_adv(epoch, neighbor_cost);
+    }
+
+    /// The source's hop distance to the sink, if known.
+    pub fn cost(&self) -> Option<u32> {
+        self.cost.cost()
+    }
+
+    /// Mints the next report, or `None` when no route to the sink is known
+    /// yet (counted as generated anyway — the paper's success ratio divides
+    /// by all generated reports).
+    pub fn generate(&mut self) -> Option<Report> {
+        self.generated += 1;
+        let cost = self.cost.cost()?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(Report {
+            source: self.id,
+            seq,
+            sender_cost: cost,
+            hops: 1, // the source's own broadcast is the first transmission
+            budget: self.config.hop_budget(cost),
+        })
+    }
+
+    /// Total reports generated (including unroutable ones).
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// The source's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_epochs_increment() {
+        let mut sink = GrabSink::new();
+        assert_eq!(sink.epoch(), 0);
+        assert_eq!(sink.next_adv(), GrabMessage::Adv { epoch: 1, cost: 0 });
+        assert_eq!(sink.next_adv(), GrabMessage::Adv { epoch: 2, cost: 0 });
+        assert_eq!(sink.epoch(), 2);
+    }
+
+    #[test]
+    fn sink_counts_unique_deliveries() {
+        let mut sink = GrabSink::new();
+        let r = Report {
+            source: NodeId(3),
+            seq: 10,
+            sender_cost: 1,
+            hops: 4,
+            budget: 9,
+        };
+        assert!(sink.on_report(r));
+        assert!(!sink.on_report(r), "duplicate copy");
+        assert_eq!(sink.delivered_count(), 1);
+        assert_eq!(sink.duplicate_arrivals(), 1);
+        assert!(sink.has_received(NodeId(3), 10));
+        assert!(!sink.has_received(NodeId(3), 11));
+    }
+
+    #[test]
+    fn source_needs_a_route() {
+        let mut src = GrabSource::new(NodeId(0), GrabConfig::paper());
+        assert_eq!(src.generate(), None);
+        assert_eq!(src.generated(), 1, "unroutable reports still count");
+        src.on_adv(1, 6); // cost = 7
+        let r = src.generate().unwrap();
+        assert_eq!(r.sender_cost, 7);
+        assert_eq!(r.hops, 1);
+        assert_eq!(r.budget, GrabConfig::paper().hop_budget(7));
+        assert_eq!(src.generated(), 2);
+    }
+
+    #[test]
+    fn source_sequences_are_unique_and_increasing() {
+        let mut src = GrabSource::new(NodeId(0), GrabConfig::paper());
+        src.on_adv(1, 4);
+        let a = src.generate().unwrap();
+        let b = src.generate().unwrap();
+        assert_eq!(b.seq, a.seq + 1);
+    }
+
+    #[test]
+    fn source_cost_improves_with_better_advs() {
+        let mut src = GrabSource::new(NodeId(0), GrabConfig::paper());
+        src.on_adv(1, 9);
+        assert_eq!(src.cost(), Some(10));
+        src.on_adv(1, 3);
+        assert_eq!(src.cost(), Some(4));
+        src.on_adv(2, 8); // new epoch wins
+        assert_eq!(src.cost(), Some(9));
+    }
+}

@@ -1,0 +1,60 @@
+//! # peas-grab — GRAB-style gradient mesh forwarding
+//!
+//! The data-delivery substrate for the PEAS (ICDCS 2003) reproduction. The
+//! paper delivers source reports to the sink with GRAB (GRAdient Broadcast,
+//! reference \[11\] of the paper); this crate implements its published core
+//! idea as a compact, simulator-driven protocol:
+//!
+//! 1. the sink periodically floods a cost-field **ADV** (hop-count field,
+//!    refreshed with increasing epochs as the working set churns);
+//! 2. each working node remembers its cost — its hop distance to the sink —
+//!    and rebroadcasts improving ADVs ([`GrabRelay`]);
+//! 3. the source stamps every report with its own cost and a hop *budget*
+//!    `ceil((1+α)·cost)`; relays forward a report only when their cost is
+//!    strictly smaller than the sender's and the remaining budget can still
+//!    reach the sink — a credit-widened forwarding mesh that survives
+//!    individual relay failures ([`Report::forwardable_at`]).
+//!
+//! What matters for the paper's Figures 10 and 13 is preserved exactly:
+//! reports get through iff PEAS maintains a connected, sufficiently
+//! redundant working set between the corners.
+//!
+//! ## Example
+//!
+//! ```
+//! use peas_des::rng::SimRng;
+//! use peas_grab::{GrabConfig, GrabMessage, GrabRelay, GrabSink, GrabSource};
+//! use peas_radio::NodeId;
+//!
+//! let config = GrabConfig::paper();
+//! let mut sink = GrabSink::new();
+//! let mut relay = GrabRelay::new(config.clone());
+//! let mut source = GrabSource::new(NodeId(42), config);
+//! let mut rng = SimRng::new(1);
+//!
+//! // Sink floods; the relay (1 hop out) adopts cost 1; the source hears
+//! // the relay's rebroadcast and adopts cost 2.
+//! let GrabMessage::Adv { epoch, cost } = sink.next_adv() else { unreachable!() };
+//! let out = relay.on_adv(epoch, cost, &mut rng).unwrap();
+//! let GrabMessage::Adv { epoch, cost } = out.msg else { unreachable!() };
+//! source.on_adv(epoch, cost);
+//!
+//! // A report descends source -> relay -> sink.
+//! let report = source.generate().unwrap();
+//! let fwd = relay.on_report(report, &mut rng).unwrap();
+//! let GrabMessage::Report(copy) = fwd.msg else { unreachable!() };
+//! assert!(sink.on_report(copy));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod endpoints;
+pub mod msg;
+pub mod relay;
+
+pub use config::GrabConfig;
+pub use endpoints::{GrabSink, GrabSource};
+pub use msg::{GrabMessage, Report};
+pub use relay::{CostState, GrabRelay, Outgoing};

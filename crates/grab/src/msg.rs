@@ -1,0 +1,87 @@
+//! GRAB messages: cost-field advertisements and data reports.
+
+use peas_radio::NodeId;
+
+/// A GRAB frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrabMessage {
+    /// Cost-field advertisement flooded from the sink. `cost` is the hop
+    /// count of the *sender*; receivers adopt `cost + 1`.
+    Adv {
+        /// Flood generation; higher epochs supersede lower ones.
+        epoch: u32,
+        /// Sender's hop distance from the sink (0 at the sink itself).
+        cost: u32,
+    },
+    /// A data report descending the cost field toward the sink.
+    Report(Report),
+}
+
+/// A data report in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// The originating source node.
+    pub source: NodeId,
+    /// Sequence number at the source (unique per source).
+    pub seq: u64,
+    /// The cost of the node that transmitted this copy; receivers forward
+    /// only if their own cost is strictly smaller (gradient descent).
+    pub sender_cost: u32,
+    /// Transmissions consumed so far (the source's own broadcast counts as
+    /// the first).
+    pub hops: u32,
+    /// Total hop budget `ceil((1+α)·C_source)`; copies that cannot reach
+    /// the sink within the remaining budget are dropped.
+    pub budget: u32,
+}
+
+impl Report {
+    /// Whether a relay at `cost` may forward this copy: strictly descending
+    /// cost and enough budget to still reach the sink. A relay at cost `c`
+    /// needs exactly `c` more transmissions (its own plus `c − 1`
+    /// downstream), so the condition is `hops + c ≤ budget` — inclusive,
+    /// or a zero-margin (α = 0) budget could never deliver.
+    pub fn forwardable_at(&self, cost: u32) -> bool {
+        cost < self.sender_cost && self.hops + cost <= self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(sender_cost: u32, hops: u32, budget: u32) -> Report {
+        Report {
+            source: NodeId(1),
+            seq: 7,
+            sender_cost,
+            hops,
+            budget,
+        }
+    }
+
+    #[test]
+    fn forwarding_requires_descending_cost() {
+        let r = report(5, 1, 100);
+        assert!(r.forwardable_at(4));
+        assert!(!r.forwardable_at(5));
+        assert!(!r.forwardable_at(6));
+    }
+
+    #[test]
+    fn forwarding_requires_budget() {
+        // hops=4 consumed, relay at cost 6 needs 6 more: total 10 > budget 9.
+        let r = report(7, 4, 9);
+        assert!(!r.forwardable_at(6));
+        // A relay at cost 5 needs 5 more: total 9 = 9: exactly affordable.
+        assert!(r.forwardable_at(5));
+        // A relay at cost 4: total 8 < 9: ok.
+        assert!(r.forwardable_at(4));
+    }
+
+    #[test]
+    fn cost_zero_sink_neighbors_forwardable() {
+        let r = report(1, 3, 5);
+        assert!(r.forwardable_at(0));
+    }
+}

@@ -1,0 +1,248 @@
+//! Static-network integration tests: flooding a cost field over a fixed
+//! relay graph must reproduce BFS hop counts, and reports must reach the
+//! sink whenever a path exists within budget.
+
+use std::collections::VecDeque;
+
+use peas_des::rng::SimRng;
+use peas_grab::{GrabConfig, GrabMessage, GrabRelay, GrabSink, GrabSource, Report};
+use peas_radio::NodeId;
+
+/// A static connectivity graph over relays 0..n plus a sink and a source.
+struct StaticNet {
+    /// adjacency among relays (undirected).
+    relay_adj: Vec<Vec<usize>>,
+    /// relays adjacent to the sink.
+    sink_neighbors: Vec<usize>,
+    /// relays adjacent to the source.
+    source_neighbors: Vec<usize>,
+}
+
+impl StaticNet {
+    /// A line: sink — r0 — r1 — … — r(n−1) — source.
+    fn line(n: usize) -> StaticNet {
+        let relay_adj = (0..n)
+            .map(|i| {
+                let mut adj = Vec::new();
+                if i > 0 {
+                    adj.push(i - 1);
+                }
+                if i + 1 < n {
+                    adj.push(i + 1);
+                }
+                adj
+            })
+            .collect();
+        StaticNet {
+            relay_adj,
+            sink_neighbors: vec![0],
+            source_neighbors: vec![n - 1],
+        }
+    }
+
+    /// A 2-D grid of `side × side` relays (4-connectivity), sink adjacent
+    /// to corner (0,0), source adjacent to the opposite corner.
+    fn grid(side: usize) -> StaticNet {
+        let idx = |r: usize, c: usize| r * side + c;
+        let mut relay_adj = vec![Vec::new(); side * side];
+        for r in 0..side {
+            for c in 0..side {
+                if r + 1 < side {
+                    relay_adj[idx(r, c)].push(idx(r + 1, c));
+                    relay_adj[idx(r + 1, c)].push(idx(r, c));
+                }
+                if c + 1 < side {
+                    relay_adj[idx(r, c)].push(idx(r, c + 1));
+                    relay_adj[idx(r, c + 1)].push(idx(r, c));
+                }
+            }
+        }
+        StaticNet {
+            relay_adj,
+            sink_neighbors: vec![0],
+            source_neighbors: vec![side * side - 1],
+        }
+    }
+
+    /// Floods one ADV epoch from the sink, delivering every broadcast to
+    /// all graph neighbors (lossless, synchronous). Returns per-relay
+    /// costs and the source's cost.
+    fn flood(
+        &self,
+        relays: &mut [GrabRelay],
+        source: &mut GrabSource,
+        epoch_msg: GrabMessage,
+        rng: &mut SimRng,
+    ) -> (Vec<Option<u32>>, Option<u32>) {
+        let GrabMessage::Adv { epoch, cost } = epoch_msg else {
+            panic!("flood needs an ADV");
+        };
+        let mut queue: VecDeque<(usize, u32, u32)> = self
+            .sink_neighbors
+            .iter()
+            .map(|&r| (r, epoch, cost))
+            .collect();
+        while let Some((r, epoch, cost)) = queue.pop_front() {
+            if let Some(out) = relays[r].on_adv(epoch, cost, rng) {
+                let GrabMessage::Adv {
+                    epoch: e,
+                    cost: my_cost,
+                } = out.msg
+                else {
+                    panic!("relay rebroadcast a non-ADV");
+                };
+                for &nb in &self.relay_adj[r] {
+                    queue.push_back((nb, e, my_cost));
+                }
+                if self.source_neighbors.contains(&r) {
+                    source.on_adv(e, my_cost);
+                }
+            }
+        }
+        (relays.iter().map(|r| r.cost()).collect(), source.cost())
+    }
+
+    /// BFS hop distances from the sink (sink itself = 0).
+    fn bfs_costs(&self) -> Vec<u32> {
+        let n = self.relay_adj.len();
+        let mut dist = vec![u32::MAX; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in &self.sink_neighbors {
+            dist[r] = 1;
+            queue.push_back(r);
+        }
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.relay_adj[v] {
+                if dist[w] == u32::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Forwards a report through the mesh (lossless, synchronous) until it
+    /// reaches the sink or dies. Returns whether the sink received it.
+    fn forward(
+        &self,
+        relays: &mut [GrabRelay],
+        sink: &mut GrabSink,
+        report: Report,
+        rng: &mut SimRng,
+    ) -> bool {
+        let mut queue: VecDeque<(usize, Report)> = self
+            .source_neighbors
+            .iter()
+            .map(|&r| (r, report))
+            .collect();
+        let mut delivered = false;
+        while let Some((r, rep)) = queue.pop_front() {
+            if let Some(out) = relays[r].on_report(rep, rng) {
+                let GrabMessage::Report(fwd) = out.msg else {
+                    panic!("relay forwarded a non-report");
+                };
+                for &nb in &self.relay_adj[r] {
+                    queue.push_back((nb, fwd));
+                }
+                if self.sink_neighbors.contains(&r) && sink.on_report(fwd) {
+                    delivered = true;
+                }
+            }
+        }
+        delivered
+    }
+}
+
+fn setup(n: usize) -> (Vec<GrabRelay>, GrabSource, GrabSink, SimRng) {
+    let config = GrabConfig::paper();
+    let relays = (0..n).map(|_| GrabRelay::new(config.clone())).collect();
+    let source = GrabSource::new(NodeId(10_000), config);
+    (relays, source, GrabSink::new(), SimRng::new(7))
+}
+
+#[test]
+fn line_cost_field_matches_bfs() {
+    let net = StaticNet::line(12);
+    let (mut relays, mut source, mut sink, mut rng) = setup(12);
+    let adv = sink.next_adv();
+    let (costs, source_cost) = net.flood(&mut relays, &mut source, adv, &mut rng);
+    let bfs = net.bfs_costs();
+    for (i, (&got, &want)) in costs.iter().zip(bfs.iter()).enumerate() {
+        assert_eq!(got, Some(want), "relay {i}");
+    }
+    assert_eq!(source_cost, Some(13)); // 12 relays + the sink hop
+}
+
+#[test]
+fn grid_cost_field_matches_bfs() {
+    let net = StaticNet::grid(7);
+    let (mut relays, mut source, mut sink, mut rng) = setup(49);
+    let adv = sink.next_adv();
+    let (costs, source_cost) = net.flood(&mut relays, &mut source, adv, &mut rng);
+    let bfs = net.bfs_costs();
+    for (i, (&got, &want)) in costs.iter().zip(bfs.iter()).enumerate() {
+        assert_eq!(got, Some(want), "relay {i}");
+    }
+    // Source sits at the far corner: Manhattan distance 12 relays + 1.
+    assert_eq!(source_cost, Some(14));
+}
+
+#[test]
+fn report_descends_the_line_to_the_sink() {
+    let net = StaticNet::line(10);
+    let (mut relays, mut source, mut sink, mut rng) = setup(10);
+    let adv = sink.next_adv();
+    net.flood(&mut relays, &mut source, adv, &mut rng);
+    let report = source.generate().expect("route known");
+    assert!(net.forward(&mut relays, &mut sink, report, &mut rng));
+    assert_eq!(sink.delivered_count(), 1);
+}
+
+#[test]
+fn report_crosses_the_grid_within_budget() {
+    let net = StaticNet::grid(6);
+    let (mut relays, mut source, mut sink, mut rng) = setup(36);
+    let adv = sink.next_adv();
+    net.flood(&mut relays, &mut source, adv, &mut rng);
+    let report = source.generate().unwrap();
+    assert!(net.forward(&mut relays, &mut sink, report, &mut rng));
+    // Multiple descending paths exist; the dedup means every relay
+    // forwarded at most once.
+    let total_forwards: u64 = relays.iter().map(|r| r.forwarded()).sum();
+    assert!(total_forwards <= 36);
+}
+
+#[test]
+fn zero_budget_margin_still_reaches_on_shortest_path() {
+    // alpha = 0: the budget equals the source cost exactly; only the
+    // straight-line descent fits.
+    let mut config = GrabConfig::paper();
+    config.credit_alpha = 0.0;
+    let net = StaticNet::line(8);
+    let mut relays: Vec<GrabRelay> = (0..8).map(|_| GrabRelay::new(config.clone())).collect();
+    let mut source = GrabSource::new(NodeId(10_000), config);
+    let mut sink = GrabSink::new();
+    let mut rng = SimRng::new(9);
+    let adv = sink.next_adv();
+    net.flood(&mut relays, &mut source, adv, &mut rng);
+    let report = source.generate().unwrap();
+    assert!(net.forward(&mut relays, &mut sink, report, &mut rng));
+}
+
+#[test]
+fn re_flood_after_relay_resets_heals_the_field() {
+    let net = StaticNet::line(6);
+    let (mut relays, mut source, mut sink, mut rng) = setup(6);
+    let adv = sink.next_adv();
+    net.flood(&mut relays, &mut source, adv, &mut rng);
+    // Relay 3 "stops working": it forgets everything.
+    relays[3].reset();
+    assert_eq!(relays[3].cost(), None);
+    // The next epoch restores it.
+    let adv = sink.next_adv();
+    net.flood(&mut relays, &mut source, adv, &mut rng);
+    assert_eq!(relays[3].cost(), Some(4));
+    let report = source.generate().unwrap();
+    assert!(net.forward(&mut relays, &mut sink, report, &mut rng));
+}

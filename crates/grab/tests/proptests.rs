@@ -1,0 +1,146 @@
+//! Property-based tests for the GRAB forwarding substrate.
+
+use proptest::prelude::*;
+
+use peas_des::rng::SimRng;
+use peas_grab::{CostState, GrabConfig, GrabMessage, GrabRelay, GrabSink, GrabSource, Report};
+use peas_radio::NodeId;
+
+proptest! {
+    /// Cost state only improves within an epoch and epochs are monotone.
+    #[test]
+    fn cost_state_monotone(advs in prop::collection::vec((0u32..5, 0u32..20), 1..60)) {
+        let mut cs = CostState::new();
+        let mut best_per_epoch: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        let mut max_epoch = 0u32;
+        for (epoch, cost) in advs {
+            let before = cs.cost();
+            let improved = cs.observe_adv(epoch, cost);
+            // Never regress to an older epoch.
+            if let Some(e) = cs.epoch() {
+                prop_assert!(e >= max_epoch.min(e));
+                max_epoch = max_epoch.max(e);
+            }
+            if let Some(new_cost) = improved {
+                prop_assert_eq!(new_cost, cost + 1);
+                prop_assert_eq!(cs.cost(), Some(new_cost));
+                let entry = best_per_epoch.entry(epoch).or_insert(u32::MAX);
+                prop_assert!(new_cost < *entry || cs.epoch() == Some(epoch));
+                *entry = (*entry).min(new_cost);
+            } else if cs.epoch() == Some(epoch) {
+                // Same epoch, no improvement: cost unchanged.
+                prop_assert_eq!(cs.cost(), before);
+            }
+        }
+    }
+
+    /// A relay forwards a given (source, seq) at most once, ever.
+    #[test]
+    fn relay_forwards_each_report_once(
+        seqs in prop::collection::vec(0u64..10, 1..80),
+        my_cost_adv in 0u32..10,
+    ) {
+        let mut rng = SimRng::new(1);
+        let mut relay = GrabRelay::new(GrabConfig::paper());
+        relay.on_adv(1, my_cost_adv, &mut rng);
+        let my_cost = relay.cost().unwrap();
+        let mut forwarded: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for seq in seqs {
+            let report = Report {
+                source: NodeId(3),
+                seq,
+                sender_cost: my_cost + 1,
+                hops: 1,
+                budget: 1_000,
+            };
+            if let Some(out) = relay.on_report(report, &mut rng) {
+                prop_assert!(forwarded.insert(seq), "seq {seq} forwarded twice");
+                let GrabMessage::Report(fwd) = out.msg else {
+                    return Err(TestCaseError::fail("non-report forwarded"));
+                };
+                prop_assert_eq!(fwd.sender_cost, my_cost);
+                prop_assert_eq!(fwd.hops, 2);
+            }
+        }
+    }
+
+    /// Forwarded copies always descend the cost field and never exceed the
+    /// budget.
+    #[test]
+    fn forwarding_descends_and_respects_budget(
+        sender_cost in 1u32..20,
+        my_adv in 0u32..20,
+        hops in 0u32..20,
+        budget in 1u32..40,
+    ) {
+        let mut rng = SimRng::new(2);
+        let mut relay = GrabRelay::new(GrabConfig::paper());
+        relay.on_adv(1, my_adv, &mut rng);
+        let my_cost = relay.cost().unwrap();
+        let report = Report {
+            source: NodeId(5),
+            seq: 1,
+            sender_cost,
+            hops,
+            budget,
+        };
+        match relay.on_report(report, &mut rng) {
+            Some(out) => {
+                let GrabMessage::Report(fwd) = out.msg else {
+                    return Err(TestCaseError::fail("non-report forwarded"));
+                };
+                prop_assert!(my_cost < sender_cost, "uphill forward");
+                prop_assert!(hops + my_cost <= budget, "budget violated");
+                prop_assert_eq!(fwd.hops, hops + 1);
+            }
+            None => {
+                // Must have been blocked by gradient, budget, or dedup.
+                let blocked = my_cost >= sender_cost || hops + my_cost > budget;
+                prop_assert!(blocked, "forwardable report dropped");
+            }
+        }
+    }
+
+    /// The sink counts each sequence exactly once no matter how many
+    /// copies arrive.
+    #[test]
+    fn sink_deduplicates(copies in prop::collection::vec(0u64..15, 1..100)) {
+        let mut sink = GrabSink::new();
+        let distinct: std::collections::HashSet<u64> = copies.iter().copied().collect();
+        for seq in &copies {
+            sink.on_report(Report {
+                source: NodeId(1),
+                seq: *seq,
+                sender_cost: 1,
+                hops: 3,
+                budget: 10,
+            });
+        }
+        prop_assert_eq!(sink.delivered_count(), distinct.len() as u64);
+        prop_assert_eq!(
+            sink.duplicate_arrivals(),
+            (copies.len() - distinct.len()) as u64
+        );
+    }
+
+    /// Source sequence numbers are strictly increasing and budgets follow
+    /// the configured α.
+    #[test]
+    fn source_reports_well_formed(cost_adv in 0u32..30, count in 1usize..20) {
+        let config = GrabConfig::paper();
+        let mut source = GrabSource::new(NodeId(0), config.clone());
+        source.on_adv(1, cost_adv);
+        let mut last_seq = None;
+        for _ in 0..count {
+            let r = source.generate().unwrap();
+            if let Some(prev) = last_seq {
+                prop_assert_eq!(r.seq, prev + 1);
+            }
+            last_seq = Some(r.seq);
+            prop_assert_eq!(r.hops, 1);
+            prop_assert_eq!(r.budget, config.hop_budget(r.sender_cost));
+        }
+        prop_assert_eq!(source.generated(), count as u64);
+    }
+}

@@ -1,0 +1,147 @@
+//! Propagation models.
+//!
+//! PEAS's design mostly assumes the unit-disc abstraction: "each sensor node
+//! may vary its transmission power and choose a power level to cover a
+//! circular area given a radius" (Section 2). Section 4 then discusses
+//! "irregularities in signal attenuation" under fixed transmission power; we
+//! model those as per-link log-normal shadowing that stretches or shrinks
+//! each link's *apparent* distance.
+
+use peas_des::rng::SimRng;
+
+use crate::packet::NodeId;
+
+/// The wireless propagation model.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Channel {
+    /// Ideal unit-disc propagation: a transmission with intended range `r`
+    /// reaches exactly the nodes within `r` meters.
+    #[default]
+    Disc,
+    /// Log-normal shadowing: each unordered link has a static fading value
+    /// `X ~ N(0, sigma_db)`, making the link appear to have length
+    /// `d · 10^(X / (10·path_loss_exp))`.
+    Shadowed {
+        /// Path-loss exponent `n` (2 = free space, 3–4 = cluttered).
+        path_loss_exp: f64,
+        /// Standard deviation of the shadowing term, in dB.
+        sigma_db: f64,
+        /// Seed for the per-link fading values (deterministic per link).
+        seed: u64,
+    },
+}
+
+impl Channel {
+    /// A moderately harsh shadowed channel (n = 3, σ = 4 dB).
+    pub fn shadowed(seed: u64) -> Channel {
+        Channel::Shadowed {
+            path_loss_exp: 3.0,
+            sigma_db: 4.0,
+            seed,
+        }
+    }
+
+    /// The distance a link between `a` and `b` *appears* to have when its
+    /// true length is `dist`. Symmetric in `a`/`b` and stable across calls.
+    pub fn effective_distance(&self, a: NodeId, b: NodeId, dist: f64) -> f64 {
+        match *self {
+            Channel::Disc => dist,
+            Channel::Shadowed {
+                path_loss_exp,
+                sigma_db,
+                seed,
+            } => {
+                let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+                // One decoupled stream per unordered link.
+                let link = ((lo as u64) << 32) | hi as u64;
+                let mut rng = SimRng::stream(seed, link.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+                let x_db = rng.normal(0.0, sigma_db);
+                dist * 10f64.powf(x_db / (10.0 * path_loss_exp))
+            }
+        }
+    }
+
+    /// Upper bound on the true distance at which a transmission with
+    /// `intended_range` can still be heard (used to bound spatial queries).
+    /// Caps shadowing at +4σ.
+    pub fn max_reach(&self, intended_range: f64) -> f64 {
+        match *self {
+            Channel::Disc => intended_range,
+            Channel::Shadowed {
+                path_loss_exp,
+                sigma_db,
+                ..
+            } => intended_range * 10f64.powf(4.0 * sigma_db / (10.0 * path_loss_exp)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disc_is_identity() {
+        let c = Channel::Disc;
+        assert_eq!(c.effective_distance(NodeId(1), NodeId(2), 7.5), 7.5);
+        assert_eq!(c.max_reach(3.0), 3.0);
+    }
+
+    #[test]
+    fn shadowing_is_symmetric_and_stable() {
+        let c = Channel::shadowed(99);
+        let d1 = c.effective_distance(NodeId(3), NodeId(8), 5.0);
+        let d2 = c.effective_distance(NodeId(8), NodeId(3), 5.0);
+        let d3 = c.effective_distance(NodeId(3), NodeId(8), 5.0);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, d3);
+    }
+
+    #[test]
+    fn different_links_fade_differently() {
+        let c = Channel::shadowed(99);
+        let d1 = c.effective_distance(NodeId(0), NodeId(1), 5.0);
+        let d2 = c.effective_distance(NodeId(0), NodeId(2), 5.0);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn shadowing_is_zero_mean_in_log_domain() {
+        let c = Channel::shadowed(7);
+        let n = 20_000u32;
+        let mean_log: f64 = (0..n)
+            .map(|i| {
+                c.effective_distance(NodeId(i), NodeId(i + 100_000), 10.0)
+                    .ln()
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean_log - 10.0f64.ln()).abs() < 0.02,
+            "mean log-distance {mean_log}"
+        );
+    }
+
+    #[test]
+    fn max_reach_bounds_effective_range() {
+        let c = Channel::shadowed(11);
+        let reach = c.max_reach(10.0);
+        assert!(reach > 10.0);
+        // Any link that appears within 10 m must have true length < reach
+        // (equivalently: links longer than reach never get in). Sample a few.
+        for i in 0..2000u32 {
+            let true_dist = reach * 1.001;
+            let eff = c.effective_distance(NodeId(i), NodeId(i + 1), true_dist);
+            // The chance of a > +4σ fade is ~3e-5; none expected here.
+            assert!(eff > 10.0, "link {i} faded beyond 4 sigma");
+        }
+    }
+
+    #[test]
+    fn scales_linearly_with_distance() {
+        let c = Channel::shadowed(3);
+        let e1 = c.effective_distance(NodeId(1), NodeId(2), 1.0);
+        let e5 = c.effective_distance(NodeId(1), NodeId(2), 5.0);
+        assert!((e5 / e1 - 5.0).abs() < 1e-9);
+    }
+}

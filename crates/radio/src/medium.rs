@@ -1,0 +1,513 @@
+//! The shared broadcast medium.
+//!
+//! Models the channel effects PEAS cares about (Section 4 "Compensate packet
+//! losses"): receiver-side collisions between overlapping transmissions,
+//! uniform random frame loss, carrier sensing before transmitting, and
+//! half-duplex radios (a transmitting node hears nothing).
+//!
+//! The medium is *passive*: the simulator calls [`Medium::start_broadcast`]
+//! when a node transmits, schedules a delivery event at the returned end
+//! time, and calls [`Medium::complete`] there to learn which receivers got
+//! the frame intact. Whether a receiver was awake is the simulator's
+//! business — the medium reports physical reception only.
+
+use std::collections::HashMap;
+
+use peas_des::rng::SimRng;
+use peas_des::time::{SimDuration, SimTime};
+use peas_geom::{Field, Point, SpatialGrid};
+
+use crate::channel::Channel;
+use crate::packet::{airtime, NodeId, RxInfo};
+
+/// Identifier of one in-flight transmission.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TxId(u64);
+
+/// A started broadcast: schedule the completion at `end`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Transmission {
+    /// Handle to pass back to [`Medium::complete`].
+    pub id: TxId,
+    /// Time the frame occupies the channel.
+    pub airtime: SimDuration,
+    /// Instant the transmission finishes.
+    pub end: SimTime,
+}
+
+/// The outcome of one receiver's copy of a completed frame.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Delivery {
+    /// The physical receiver.
+    pub receiver: NodeId,
+    /// Link measurements for threshold filtering.
+    pub info: RxInfo,
+    /// How the copy fared.
+    pub outcome: RxOutcome,
+}
+
+impl Delivery {
+    /// Whether the frame arrived intact.
+    pub fn is_ok(&self) -> bool {
+        self.outcome == RxOutcome::Ok
+    }
+}
+
+/// Per-copy reception result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Received intact.
+    Ok,
+    /// Destroyed by an overlapping transmission at this receiver.
+    Collision,
+    /// Dropped by the uniform loss process.
+    RandomLoss,
+}
+
+/// Running totals the medium keeps for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MediumStats {
+    /// Broadcasts started.
+    pub frames_sent: u64,
+    /// Copies delivered intact.
+    pub deliveries_ok: u64,
+    /// Copies destroyed by collisions.
+    pub collisions: u64,
+    /// Copies dropped by random loss.
+    pub random_losses: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Arrival {
+    tx: TxId,
+}
+
+struct TxRecord {
+    sender: NodeId,
+    /// (receiver, link info, lost-to-random-loss)
+    receivers: Vec<(NodeId, RxInfo, bool)>,
+    end: SimTime,
+}
+
+/// The broadcast medium shared by all nodes of one network.
+///
+/// # Examples
+///
+/// ```
+/// use peas_des::rng::SimRng;
+/// use peas_des::time::SimTime;
+/// use peas_geom::{Field, Point};
+/// use peas_radio::{Channel, Medium, NodeId};
+///
+/// let positions = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+/// let mut medium = Medium::new(Field::new(10.0, 10.0), &positions, Channel::Disc, 20_000, 0.0);
+/// let mut rng = SimRng::new(1);
+///
+/// let tx = medium.start_broadcast(SimTime::ZERO, NodeId(0), 3.0, 25, &mut rng);
+/// let deliveries = medium.complete(tx.id);
+/// assert_eq!(deliveries.len(), 1);
+/// assert!(deliveries[0].is_ok());
+/// ```
+pub struct Medium {
+    positions: Vec<Point>,
+    grid: SpatialGrid,
+    channel: Channel,
+    bitrate_bps: u64,
+    loss_rate: f64,
+    records: HashMap<TxId, TxRecord>,
+    /// Per node: transmissions currently arriving there (plus its own).
+    arrivals: Vec<Vec<Arrival>>,
+    /// (tx, receiver) pairs destroyed by overlap.
+    corrupted: std::collections::HashSet<(TxId, NodeId)>,
+    /// Ongoing transmissions for carrier sensing: (sender pos, range, end).
+    on_air: Vec<(Point, f64, SimTime)>,
+    stats: MediumStats,
+    next_id: u64,
+}
+
+impl Medium {
+    /// Creates a medium over stationary nodes at `positions`.
+    ///
+    /// `loss_rate` is the per-copy uniform drop probability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_rate` is outside `[0, 1]`, `bitrate_bps` is zero, or
+    /// any position lies outside `field`.
+    pub fn new(
+        field: Field,
+        positions: &[Point],
+        channel: Channel,
+        bitrate_bps: u64,
+        loss_rate: f64,
+    ) -> Medium {
+        assert!((0.0..=1.0).contains(&loss_rate), "loss rate {loss_rate} not in [0,1]");
+        assert!(bitrate_bps > 0, "bitrate must be positive");
+        let mut grid = SpatialGrid::new(field, 10.0);
+        for (i, &p) in positions.iter().enumerate() {
+            assert!(field.contains(p), "node {i} at {p:?} outside the field");
+            grid.insert(i, p);
+        }
+        Medium {
+            positions: positions.to_vec(),
+            grid,
+            channel,
+            bitrate_bps,
+            loss_rate,
+            records: HashMap::new(),
+            arrivals: vec![Vec::new(); positions.len()],
+            corrupted: std::collections::HashSet::new(),
+            on_air: Vec::new(),
+            stats: MediumStats::default(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of nodes on this medium.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Point {
+        self.positions[node.index()]
+    }
+
+    /// The propagation model in use.
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Whether `node` would sense the channel busy at `now` (some ongoing
+    /// transmission is audible at its position).
+    pub fn carrier_busy(&mut self, node: NodeId, now: SimTime) -> bool {
+        self.on_air.retain(|&(_, _, end)| end > now);
+        let pos = self.positions[node.index()];
+        self.on_air
+            .iter()
+            .any(|&(sender_pos, range, _)| sender_pos.within(pos, range))
+    }
+
+    /// Starts a broadcast from `sender` with transmission power chosen to
+    /// cover `intended_range` meters, carrying `size_bytes` of payload.
+    ///
+    /// Returns the transmission handle and end time; the caller must invoke
+    /// [`Medium::complete`] once the simulated clock reaches `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range or `intended_range` is not
+    /// strictly positive.
+    pub fn start_broadcast(
+        &mut self,
+        now: SimTime,
+        sender: NodeId,
+        intended_range: f64,
+        size_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Transmission {
+        assert!(intended_range > 0.0, "intended range must be positive");
+        let duration = airtime(size_bytes, self.bitrate_bps);
+        let end = now + duration;
+        let id = TxId(self.next_id);
+        self.next_id += 1;
+        self.stats.frames_sent += 1;
+
+        let sender_pos = self.positions[sender.index()];
+        let reach = self.channel.max_reach(intended_range);
+        let mut receivers = Vec::new();
+        // Sender occupies its own radio (half-duplex): its entry corrupts
+        // any frame arriving during this transmission.
+        self.note_arrival(id, sender);
+        let in_reach: Vec<(usize, Point)> = self.grid.within_entries(sender_pos, reach).collect();
+        for (idx, pos) in in_reach {
+            if idx == sender.index() {
+                continue;
+            }
+            let rx = NodeId(idx as u32);
+            let dist = sender_pos.distance(pos);
+            let eff = self.channel.effective_distance(sender, rx, dist);
+            if eff > intended_range {
+                continue; // too weak to decode at this power level
+            }
+            let lost = rng.bernoulli(self.loss_rate);
+            self.note_arrival(id, rx);
+            receivers.push((
+                rx,
+                RxInfo {
+                    distance: dist,
+                    effective_distance: eff,
+                },
+                lost,
+            ));
+        }
+        self.on_air.push((sender_pos, reach, end));
+        self.records.insert(
+            id,
+            TxRecord {
+                sender,
+                receivers,
+                end,
+            },
+        );
+        Transmission {
+            id,
+            airtime: duration,
+            end,
+        }
+    }
+
+    /// Registers that `tx` is arriving at `node` until `end`, corrupting any
+    /// overlap in both directions.
+    fn note_arrival(&mut self, tx: TxId, node: NodeId) {
+        // All stored arrivals still have end > "now" (completed ones are
+        // removed at their end instant), so any existing entry overlaps.
+        for a in &self.arrivals[node.index()] {
+            self.corrupted.insert((a.tx, node));
+            self.corrupted.insert((tx, node));
+        }
+        self.arrivals[node.index()].push(Arrival { tx });
+    }
+
+    /// Completes a transmission, reporting every physical receiver's
+    /// outcome. Must be called exactly once per started broadcast, at (or
+    /// after) its `end` time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` was never started or was already completed.
+    pub fn complete(&mut self, tx: TxId) -> Vec<Delivery> {
+        let record = self
+            .records
+            .remove(&tx)
+            .expect("complete() called for unknown or already-completed transmission");
+        // Remove this tx's arrival markers (receivers + the sender's own).
+        self.arrivals[record.sender.index()].retain(|a| a.tx != tx);
+        let mut deliveries = Vec::with_capacity(record.receivers.len());
+        for (rx, info, lost) in record.receivers {
+            self.arrivals[rx.index()].retain(|a| a.tx != tx);
+            let collided = self.corrupted.remove(&(tx, rx));
+            let outcome = if collided {
+                self.stats.collisions += 1;
+                RxOutcome::Collision
+            } else if lost {
+                self.stats.random_losses += 1;
+                RxOutcome::RandomLoss
+            } else {
+                self.stats.deliveries_ok += 1;
+                RxOutcome::Ok
+            };
+            deliveries.push(Delivery {
+                receiver: rx,
+                info,
+                outcome,
+            });
+        }
+        // Drop any corruption marker for the sender's own slot.
+        self.corrupted.remove(&(tx, record.sender));
+        let _ = record.end;
+        deliveries
+    }
+
+    /// Medium-wide counters.
+    pub fn stats(&self) -> MediumStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for Medium {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Medium")
+            .field("nodes", &self.positions.len())
+            .field("in_flight", &self.records.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_medium(loss: f64) -> Medium {
+        // Nodes at x = 0, 2, 4, ..., 18 on a line.
+        let positions: Vec<Point> = (0..10).map(|i| Point::new(2.0 * i as f64, 0.0)).collect();
+        Medium::new(Field::new(20.0, 5.0), &positions, Channel::Disc, 20_000, loss)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn broadcast_reaches_nodes_in_range_only() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        let tx = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        assert_eq!(tx.airtime, SimDuration::from_millis(10));
+        let dels = m.complete(tx.id);
+        let mut rxs: Vec<u32> = dels.iter().map(|d| d.receiver.0).collect();
+        rxs.sort_unstable();
+        assert_eq!(rxs, vec![1, 2]); // x=2 and x=4 within 5 m
+        assert!(dels.iter().all(Delivery::is_ok));
+    }
+
+    #[test]
+    fn rx_info_reports_distance() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        let tx = m.start_broadcast(SimTime::ZERO, NodeId(0), 3.0, 25, &mut rng);
+        let dels = m.complete(tx.id);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].info.distance, 2.0);
+        assert_eq!(dels[0].info.effective_distance, 2.0);
+    }
+
+    #[test]
+    fn overlapping_transmissions_collide_at_common_receiver() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        // Node 0 and node 2 (x=4) both transmit with range 5: node 1 (x=2)
+        // hears both simultaneously -> collision there.
+        let tx_a = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        let tx_b = m.start_broadcast(t(1), NodeId(2), 5.0, 25, &mut rng);
+        let dels_a = m.complete(tx_a.id);
+        let a1 = dels_a.iter().find(|d| d.receiver == NodeId(1)).unwrap();
+        assert_eq!(a1.outcome, RxOutcome::Collision);
+        let dels_b = m.complete(tx_b.id);
+        let b1 = dels_b.iter().find(|d| d.receiver == NodeId(1)).unwrap();
+        assert_eq!(b1.outcome, RxOutcome::Collision);
+        // Node 3 (x=6) hears only tx_b: intact.
+        let b3 = dels_b.iter().find(|d| d.receiver == NodeId(3)).unwrap();
+        assert_eq!(b3.outcome, RxOutcome::Ok);
+        // Four corrupted copies in total: tx_a at node 1 and at node 2
+        // (which was deaf while sending tx_b), tx_b at node 1 and at node 0
+        // (which was still sending tx_a when tx_b began).
+        assert_eq!(m.stats().collisions, 4);
+    }
+
+    #[test]
+    fn non_overlapping_transmissions_do_not_collide() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        let tx_a = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        let dels_a = m.complete(tx_a.id); // completes at 10 ms
+        let tx_b = m.start_broadcast(t(10), NodeId(2), 5.0, 25, &mut rng);
+        let dels_b = m.complete(tx_b.id);
+        assert!(dels_a.iter().all(Delivery::is_ok));
+        assert!(dels_b.iter().all(Delivery::is_ok));
+    }
+
+    #[test]
+    fn transmitting_node_cannot_receive() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        // Nodes 0 and 1 transmit simultaneously; each is deaf to the other,
+        // and the medium models that as a collision at each sender.
+        let tx_a = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        let tx_b = m.start_broadcast(SimTime::ZERO, NodeId(1), 5.0, 25, &mut rng);
+        let dels_a = m.complete(tx_a.id);
+        let at_b = dels_a.iter().find(|d| d.receiver == NodeId(1)).unwrap();
+        assert_ne!(at_b.outcome, RxOutcome::Ok);
+        let dels_b = m.complete(tx_b.id);
+        let at_a = dels_b.iter().find(|d| d.receiver == NodeId(0)).unwrap();
+        assert_ne!(at_a.outcome, RxOutcome::Ok);
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_the_configured_fraction() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let mut m = Medium::new(Field::new(5.0, 5.0), &positions, Channel::Disc, 20_000, 0.3);
+        let mut rng = SimRng::new(5);
+        let mut lost = 0;
+        let n = 2000;
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            let tx = m.start_broadcast(now, NodeId(0), 2.0, 25, &mut rng);
+            now = tx.end;
+            let dels = m.complete(tx.id);
+            if dels[0].outcome == RxOutcome::RandomLoss {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed loss rate {rate}");
+        assert_eq!(m.stats().random_losses, lost);
+    }
+
+    #[test]
+    fn carrier_sense_sees_ongoing_transmissions() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        assert!(!m.carrier_busy(NodeId(1), SimTime::ZERO));
+        let tx = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        assert!(m.carrier_busy(NodeId(1), t(5)));
+        // Node 9 at x=18 is far outside range 5 of x=0.
+        assert!(!m.carrier_busy(NodeId(9), t(5)));
+        // After the frame ends the channel is clear again.
+        assert!(!m.carrier_busy(NodeId(1), tx.end));
+        m.complete(tx.id);
+    }
+
+    #[test]
+    fn back_to_back_frames_at_same_instant_do_not_overlap() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        let tx_a = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        let dels_a = m.complete(tx_a.id);
+        // Second frame starts exactly when the first ended.
+        let tx_b = m.start_broadcast(tx_a.end, NodeId(0), 5.0, 25, &mut rng);
+        let dels_b = m.complete(tx_b.id);
+        assert!(dels_a.iter().all(Delivery::is_ok));
+        assert!(dels_b.iter().all(Delivery::is_ok));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already-completed")]
+    fn double_complete_panics() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        let tx = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        m.complete(tx.id);
+        m.complete(tx.id);
+    }
+
+    #[test]
+    fn stats_track_sent_and_ok() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        let tx = m.start_broadcast(SimTime::ZERO, NodeId(5), 3.0, 25, &mut rng);
+        let dels = m.complete(tx.id);
+        assert_eq!(m.stats().frames_sent, 1);
+        assert_eq!(m.stats().deliveries_ok, dels.len() as u64);
+    }
+
+    #[test]
+    fn shadowed_channel_filters_by_effective_distance() {
+        let positions: Vec<Point> = (0..40).map(|i| Point::new(i as f64, 0.0)).collect();
+        let mut m = Medium::new(
+            Field::new(40.0, 5.0),
+            &positions,
+            Channel::shadowed(3),
+            20_000,
+            0.0,
+        );
+        let mut rng = SimRng::new(9);
+        let tx = m.start_broadcast(SimTime::ZERO, NodeId(0), 10.0, 25, &mut rng);
+        let dels = m.complete(tx.id);
+        // Every delivered copy must appear within the intended range.
+        assert!(dels.iter().all(|d| d.info.effective_distance <= 10.0));
+        // Shadowing should make the receiver set differ from the pure disc.
+        let true_dists: Vec<f64> = dels.iter().map(|d| d.info.distance).collect();
+        let some_beyond = true_dists.iter().any(|&d| d > 10.0);
+        let some_missing = (1..=10).any(|i| dels.iter().all(|d| d.receiver != NodeId(i)));
+        assert!(
+            some_beyond || some_missing,
+            "shadowing had no observable effect: {true_dists:?}"
+        );
+    }
+}

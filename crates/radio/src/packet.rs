@@ -1,0 +1,132 @@
+//! Node identity, frames and airtime.
+
+use std::fmt;
+
+use peas_des::time::SimDuration;
+
+/// Identifier of a sensor node within one simulated network.
+///
+/// Plain dense indices (`0..n`) so they double as `Vec` positions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> NodeId {
+        NodeId(v)
+    }
+}
+
+/// Raw wireless bitrate from Section 5.1: 20 kbps.
+pub const PAPER_BITRATE_BPS: u64 = 20_000;
+
+/// PROBE/REPLY frame size from Section 5.1: 25 bytes.
+pub const PAPER_CONTROL_FRAME_BYTES: usize = 25;
+
+/// Time a frame of `size_bytes` occupies the channel at `bitrate_bps`.
+///
+/// # Panics
+///
+/// Panics if `bitrate_bps` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use peas_des::time::SimDuration;
+/// use peas_radio::packet::{airtime, PAPER_BITRATE_BPS, PAPER_CONTROL_FRAME_BYTES};
+///
+/// // 25 bytes at 20 kbps = 10 ms on the air.
+/// let t = airtime(PAPER_CONTROL_FRAME_BYTES, PAPER_BITRATE_BPS);
+/// assert_eq!(t, SimDuration::from_millis(10));
+/// ```
+pub fn airtime(size_bytes: usize, bitrate_bps: u64) -> SimDuration {
+    assert!(bitrate_bps > 0, "bitrate must be positive");
+    let bits = size_bytes as u64 * 8;
+    SimDuration::from_nanos(bits.saturating_mul(1_000_000_000) / bitrate_bps)
+}
+
+/// Reception-side information attached to every delivered frame.
+///
+/// `effective_distance` folds in channel irregularity: under the disc model
+/// it equals `distance`; under shadowing a link may "look" longer or
+/// shorter. Section 4's fixed-power threshold rule (`S_th`) is exactly a
+/// comparison of effective distance against the probing range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RxInfo {
+    /// True geometric distance between sender and receiver, meters.
+    pub distance: f64,
+    /// Distance the link *appears* to have after channel irregularity.
+    pub effective_distance: f64,
+}
+
+impl RxInfo {
+    /// Signal-strength threshold test: does this reception appear at least
+    /// as strong as one from `range` meters away? (Section 4, "Nodes with
+    /// fixed transmission power".)
+    pub fn stronger_than_range(&self, range: f64) -> bool {
+        self.effective_distance <= range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_frame_airtime_is_10ms() {
+        assert_eq!(
+            airtime(PAPER_CONTROL_FRAME_BYTES, PAPER_BITRATE_BPS),
+            SimDuration::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn airtime_scales_linearly() {
+        assert_eq!(airtime(50, 20_000), SimDuration::from_millis(20));
+        assert_eq!(airtime(0, 20_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitrate must be positive")]
+    fn zero_bitrate_rejected() {
+        let _ = airtime(10, 0);
+    }
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::from(42u32);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id:?}"), "n42");
+        assert_eq!(format!("{id}"), "node 42");
+    }
+
+    #[test]
+    fn rx_info_threshold_rule() {
+        let info = RxInfo {
+            distance: 2.5,
+            effective_distance: 3.2,
+        };
+        // Appears to come from 3.2 m: fails a 3 m probing-range filter even
+        // though the true distance is 2.5 m.
+        assert!(!info.stronger_than_range(3.0));
+        assert!(info.stronger_than_range(3.5));
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the radio substrate: conservation laws of the
+//! medium, energy arithmetic, and channel invariants.
+
+use proptest::prelude::*;
+
+use peas_des::rng::SimRng;
+use peas_des::time::{SimDuration, SimTime};
+use peas_geom::{Field, Point};
+use peas_radio::{airtime, Battery, Channel, EnergyCause, EnergyLedger, Medium, NodeId};
+
+fn arb_positions(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..50.0, 0.0f64..50.0), 2..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    /// Every delivery of a completed broadcast goes to a node that is
+    /// physically within the intended range (disc model), never to the
+    /// sender, and each receiver appears at most once.
+    #[test]
+    fn deliveries_respect_geometry(
+        positions in arb_positions(40),
+        sender in 0usize..40,
+        range in 1.0f64..20.0,
+        seed in any::<u64>(),
+    ) {
+        let sender = sender % positions.len();
+        let field = Field::new(50.0, 50.0);
+        let mut medium = Medium::new(field, &positions, Channel::Disc, 20_000, 0.0);
+        let mut rng = SimRng::new(seed);
+        let tx = medium.start_broadcast(SimTime::ZERO, NodeId(sender as u32), range, 25, &mut rng);
+        let deliveries = medium.complete(tx.id);
+        let mut seen = std::collections::HashSet::new();
+        for d in &deliveries {
+            prop_assert_ne!(d.receiver.index(), sender, "sender cannot receive itself");
+            prop_assert!(seen.insert(d.receiver), "duplicate receiver");
+            let dist = positions[sender].distance(positions[d.receiver.index()]);
+            prop_assert!(dist <= range + 1e-9);
+            prop_assert!((d.info.distance - dist).abs() < 1e-9);
+        }
+        // Conversely every in-range node is among the deliveries.
+        let in_range = positions
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| i != sender && positions[sender].within(*p, range))
+            .count();
+        prop_assert_eq!(deliveries.len(), in_range);
+    }
+
+    /// Non-overlapping transmissions are always delivered intact on a
+    /// loss-free channel, regardless of schedule.
+    #[test]
+    fn sequential_frames_never_collide(
+        positions in arb_positions(20),
+        gaps_ms in prop::collection::vec(0u64..50, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let field = Field::new(50.0, 50.0);
+        let mut medium = Medium::new(field, &positions, Channel::Disc, 20_000, 0.0);
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        for (i, &gap) in gaps_ms.iter().enumerate() {
+            let sender = NodeId((i % positions.len()) as u32);
+            let tx = medium.start_broadcast(now, sender, 10.0, 25, &mut rng);
+            let deliveries = medium.complete(tx.id);
+            prop_assert!(deliveries.iter().all(|d| d.is_ok()));
+            now = tx.end + SimDuration::from_millis(gap);
+        }
+        prop_assert_eq!(medium.stats().collisions, 0);
+    }
+
+    /// Medium statistics balance: sent copies = ok + collided + lost.
+    #[test]
+    fn stats_balance(
+        positions in arb_positions(25),
+        starts_ms in prop::collection::vec(0u64..100, 1..25),
+        loss in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let field = Field::new(50.0, 50.0);
+        let mut medium = Medium::new(field, &positions, Channel::Disc, 20_000, loss);
+        let mut rng = SimRng::new(seed);
+        let mut pending = Vec::new();
+        let mut sorted = starts_ms.clone();
+        sorted.sort_unstable();
+        let mut copies = 0usize;
+        for (i, &start) in sorted.iter().enumerate() {
+            let sender = NodeId((i % positions.len()) as u32);
+            let tx = medium.start_broadcast(
+                SimTime::from_nanos(start * 1_000_000),
+                sender,
+                10.0,
+                25,
+                &mut rng,
+            );
+            pending.push(tx.id);
+        }
+        for id in pending {
+            copies += medium.complete(id).len();
+        }
+        let stats = medium.stats();
+        prop_assert_eq!(
+            copies as u64,
+            stats.deliveries_ok + stats.collisions + stats.random_losses
+        );
+        prop_assert_eq!(stats.frames_sent, sorted.len() as u64);
+    }
+
+    /// Battery drain arithmetic: sum of drains equals consumed, floor at 0.
+    #[test]
+    fn battery_conservation(capacity in 0.0f64..100.0, drains in prop::collection::vec(0.0f64..10.0, 0..50)) {
+        let mut b = Battery::new(capacity);
+        for &d in &drains {
+            b.drain(d);
+        }
+        let total: f64 = drains.iter().sum();
+        if total <= capacity {
+            prop_assert!((b.consumed_j() - total).abs() < 1e-9);
+        } else {
+            prop_assert!(b.is_depleted());
+            prop_assert!((b.consumed_j() - capacity).abs() < 1e-9);
+        }
+    }
+
+    /// Ledger totals equal the sum of per-cause entries.
+    #[test]
+    fn ledger_totals(entries in prop::collection::vec((0usize..7, 0.0f64..5.0), 0..60)) {
+        let mut ledger = EnergyLedger::new();
+        let mut expected = 0.0;
+        let mut expected_overhead = 0.0;
+        for (cause_idx, joules) in entries {
+            let cause = EnergyCause::ALL[cause_idx];
+            ledger.add(cause, joules);
+            expected += joules;
+            if cause.is_protocol_overhead() {
+                expected_overhead += joules;
+            }
+        }
+        prop_assert!((ledger.total_j() - expected).abs() < 1e-9);
+        prop_assert!((ledger.protocol_overhead_j() - expected_overhead).abs() < 1e-9);
+        if expected > 0.0 {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ledger.overhead_ratio()));
+        }
+    }
+
+    /// Airtime is linear in size and inversely proportional to bitrate.
+    #[test]
+    fn airtime_scaling(size in 1usize..1_000, bitrate in 1_000u64..1_000_000) {
+        let t1 = airtime(size, bitrate);
+        let t2 = airtime(size * 2, bitrate);
+        // Doubling the size doubles the airtime (up to 1 ns rounding).
+        let diff = (t2.as_nanos() as i128 - 2 * t1.as_nanos() as i128).abs();
+        prop_assert!(diff <= 2, "airtime not linear: {t1:?} vs {t2:?}");
+    }
+
+    /// Shadowed channels: symmetric, deterministic, and positive.
+    #[test]
+    fn shadowing_invariants(seed in any::<u64>(), a in 0u32..1_000, b in 0u32..1_000, dist in 0.1f64..50.0) {
+        prop_assume!(a != b);
+        let c = Channel::shadowed(seed);
+        let d1 = c.effective_distance(NodeId(a), NodeId(b), dist);
+        let d2 = c.effective_distance(NodeId(b), NodeId(a), dist);
+        prop_assert_eq!(d1, d2);
+        prop_assert!(d1 > 0.0 && d1.is_finite());
+        // Determinism across a fresh channel with the same seed.
+        let c2 = Channel::shadowed(seed);
+        prop_assert_eq!(d1, c2.effective_distance(NodeId(a), NodeId(b), dist));
+    }
+}

@@ -1,0 +1,233 @@
+//! Standalone PEAS network simulator.
+//!
+//! ```text
+//! peas-simulate [options]
+//!
+//!   --nodes N            deployed sensors              [default 160]
+//!   --seed S             master seed                   [default 1]
+//!   --failure-rate R     failures per 5000 s (0 = off) [default 10.66]
+//!   --loss P             uniform frame loss in [0,1]   [default 0]
+//!   --horizon SECS       hard stop                     [default 60000]
+//!   --rp METERS          probing range Rp              [default 3]
+//!   --lambda0 RATE       initial probing rate          [default 0.1]
+//!   --lambdad RATE       desired aggregate rate        [default 0.02]
+//!   --no-grab            disable the data workload
+//!   --fixed-power RT     fixed transmission range (m)
+//!   --shadowed           log-normal shadowed channel
+//!   --csv FILE           write the sample series as CSV
+//!   --trace FILE         write a per-event protocol trace as CSV
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use peas::PeasConfig;
+use peas_des::time::SimTime;
+use peas_radio::Channel;
+use peas_sim::ScenarioConfig;
+
+struct Args {
+    nodes: usize,
+    seed: u64,
+    failure_rate: f64,
+    loss: f64,
+    horizon: f64,
+    rp: f64,
+    lambda0: f64,
+    lambdad: f64,
+    grab: bool,
+    fixed_power: Option<f64>,
+    shadowed: bool,
+    csv: Option<String>,
+    trace: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            nodes: 160,
+            seed: 1,
+            failure_rate: 10.66,
+            loss: 0.0,
+            horizon: 60_000.0,
+            rp: 3.0,
+            lambda0: 0.1,
+            lambdad: 0.02,
+            grab: true,
+            fixed_power: None,
+            shadowed: false,
+            csv: None,
+            trace: None,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+                "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+                "--failure-rate" => {
+                    args.failure_rate =
+                        value("--failure-rate")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--loss" => args.loss = value("--loss")?.parse().map_err(|e| format!("{e}"))?,
+                "--horizon" => {
+                    args.horizon = value("--horizon")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--rp" => args.rp = value("--rp")?.parse().map_err(|e| format!("{e}"))?,
+                "--lambda0" => {
+                    args.lambda0 = value("--lambda0")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--lambdad" => {
+                    args.lambdad = value("--lambdad")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--no-grab" => args.grab = false,
+                "--fixed-power" => {
+                    args.fixed_power =
+                        Some(value("--fixed-power")?.parse().map_err(|e| format!("{e}"))?)
+                }
+                "--shadowed" => args.shadowed = true,
+                "--csv" => args.csv = Some(value("--csv")?),
+                "--trace" => args.trace = Some(value("--trace")?),
+                "--help" | "-h" => return Err("help".into()),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: peas-simulate [--nodes N] [--seed S] [--failure-rate R] [--loss P] \
+                 [--horizon SECS] [--rp M] [--lambda0 R] [--lambdad R] [--no-grab] \
+                 [--fixed-power RT] [--shadowed] [--csv FILE] [--trace FILE]"
+            );
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    let mut peas_builder = PeasConfig::builder()
+        .probing_range(args.rp)
+        .initial_rate(args.lambda0)
+        .desired_rate(args.lambdad);
+    if let Some(rt) = args.fixed_power {
+        peas_builder = peas_builder.fixed_power(rt);
+    }
+    let peas_config = match peas_builder.try_build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = ScenarioConfig::paper(args.nodes)
+        .with_seed(args.seed)
+        .with_failure_rate(args.failure_rate);
+    config.peas = peas_config;
+    config.loss_rate = args.loss;
+    config.horizon = SimTime::from_secs_f64(args.horizon);
+    if !args.grab {
+        config.grab = None;
+    }
+    if args.shadowed {
+        config.channel = Channel::shadowed(args.seed);
+    }
+    if let Err(e) = config.validate() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let started = std::time::Instant::now();
+    let mut world = peas_sim::World::new(config);
+    let trace_buffer = std::rc::Rc::new(std::cell::RefCell::new(String::new()));
+    if args.trace.is_some() {
+        let buffer = std::rc::Rc::clone(&trace_buffer);
+        world.set_trace(move |t: peas_des::time::SimTime, e: &peas_sim::TraceEvent| {
+            let mut b = buffer.borrow_mut();
+            b.push_str(&e.to_csv_row(t));
+            b.push('\n');
+        });
+    }
+    let report = world.run();
+    eprintln!("[peas-simulate] finished in {:.1?}", started.elapsed());
+
+    println!("nodes            : {}", report.node_count);
+    println!("seed             : {}", report.seed);
+    println!("simulated        : {:.0} s", report.end_secs);
+    println!("wakeups          : {}", report.total_wakeups());
+    println!(
+        "coverage lifetime: k=3 {:.0} s | k=4 {:.0} s | k=5 {:.0} s",
+        report.coverage_lifetime(3, 0.9),
+        report.coverage_lifetime(4, 0.9),
+        report.coverage_lifetime(5, 0.9)
+    );
+    if report.generated_reports > 0 {
+        println!(
+            "data delivery    : lifetime {:.0} s, {}/{} reports",
+            report.delivery_lifetime(0.9),
+            report.delivered_reports,
+            report.generated_reports
+        );
+    }
+    println!(
+        "energy           : {:.0} J consumed, overhead {:.2} J ({:.3}%)",
+        report.consumed_j,
+        report.overhead_j(),
+        report.overhead_ratio() * 100.0
+    );
+    println!(
+        "deaths           : {} failures, {} battery",
+        report.failures_injected, report.energy_deaths
+    );
+    println!(
+        "medium           : {} frames, {} ok, {} collided, {} lost",
+        report.medium.frames_sent,
+        report.medium.deliveries_ok,
+        report.medium.collisions,
+        report.medium.random_losses
+    );
+
+    if let Some(path) = args.trace {
+        let header = "t_secs,event,node,detail\n";
+        let body = trace_buffer.borrow();
+        if let Err(e) = std::fs::write(&path, format!("{header}{body}")) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[peas-simulate] wrote {} trace events to {path}",
+            body.lines().count()
+        );
+    }
+    if let Some(path) = args.csv {
+        match File::create(&path).map(BufWriter::new) {
+            Ok(mut w) => {
+                if let Err(e) = report.write_csv(&mut w) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[peas-simulate] wrote {} samples to {path}", report.samples.len());
+            }
+            Err(e) => {
+                eprintln!("error creating {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,317 @@
+//! Scenario configuration: everything one simulated run needs.
+
+use peas::PeasConfig;
+use peas_des::time::{SimDuration, SimTime};
+use peas_geom::{Deployment, Field};
+use peas_grab::GrabConfig;
+use peas_radio::{Channel, PowerProfile};
+
+/// How node batteries are initialized.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatterySpec {
+    /// Uniform in `[lo, hi]` joules — the paper draws 54–60 J (Section 5.1).
+    Uniform {
+        /// Lower bound, joules.
+        lo: f64,
+        /// Upper bound, joules.
+        hi: f64,
+    },
+    /// Every node gets exactly this many joules.
+    Fixed(f64),
+}
+
+impl BatterySpec {
+    /// The paper's 54–60 J battery (Section 5.1).
+    pub fn paper() -> BatterySpec {
+        BatterySpec::Uniform { lo: 54.0, hi: 60.0 }
+    }
+
+    /// Draws one battery capacity.
+    pub fn draw(&self, rng: &mut peas_des::rng::SimRng) -> f64 {
+        match *self {
+            BatterySpec::Uniform { lo, hi } => rng.range_f64(lo, hi),
+            BatterySpec::Fixed(j) => j,
+        }
+    }
+}
+
+/// Artificial failure injection (Section 5.2: "we artificially inject node
+/// failures which are randomly distributed over time").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailureConfig {
+    /// Average failures per 5000 simulated seconds (the paper's unit).
+    pub rate_per_5000s: f64,
+}
+
+impl FailureConfig {
+    /// The failure rate used for the Figure 9–11 runs: 10.66 per 5000 s.
+    pub fn paper_base() -> FailureConfig {
+        FailureConfig {
+            rate_per_5000s: 10.66,
+        }
+    }
+
+    /// Failures per second.
+    pub fn per_second(&self) -> f64 {
+        self.rate_per_5000s / 5000.0
+    }
+}
+
+/// An event-detection workload: point events appear in the field as a
+/// Poisson process; any working node with the event in sensing range
+/// detects it, and the closest detector reports it to the sink over GRAB
+/// (requires the GRAB workload to be enabled). This exercises the paper's
+/// motivating application — "interested events are monitored and reported
+/// properly" (Section 5.2) — end to end, with reports originating
+/// anywhere in the field rather than only at the corner source.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EventWorkload {
+    /// Mean events per 100 seconds.
+    pub rate_per_100s: f64,
+}
+
+impl EventWorkload {
+    /// Events per second.
+    pub fn per_second(&self) -> f64 {
+        self.rate_per_100s / 100.0
+    }
+}
+
+/// Metric-sampling knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricsConfig {
+    /// How often coverage/delivery snapshots are taken (also the energy
+    /// accounting and battery-death granularity).
+    pub sample_period: SimDuration,
+    /// Lattice spacing for K-coverage, meters.
+    pub coverage_resolution: f64,
+    /// Highest K to record (the paper plots 3-, 4- and 5-coverage).
+    pub max_k: u32,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            sample_period: SimDuration::from_secs(25),
+            coverage_resolution: 1.0,
+            max_k: 5,
+        }
+    }
+}
+
+/// A complete simulation scenario.
+///
+/// [`ScenarioConfig::paper`] reproduces Section 5.2: a 50 × 50 m field,
+/// uniform deployment, 10 m sensing and maximum transmission ranges,
+/// 20 kbps radios, Motes power profile, 54–60 J batteries, a corner source
+/// reporting every 10 s to a corner sink over GRAB, and PEAS at
+/// `Rp` = 3 m / λ₀ = 0.1 / λd = 0.02.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// The deployment field.
+    pub field: Field,
+    /// Number of sensor nodes (excluding source and sink).
+    pub node_count: usize,
+    /// How sensors are placed.
+    pub deployment: Deployment,
+    /// PEAS protocol parameters.
+    pub peas: PeasConfig,
+    /// Data workload; `None` disables GRAB (pure coverage experiments).
+    pub grab: Option<GrabConfig>,
+    /// Event-detection workload; requires `grab` to be enabled.
+    pub events: Option<EventWorkload>,
+    /// Propagation model.
+    pub channel: Channel,
+    /// Radio bitrate, bits/second.
+    pub bitrate_bps: u64,
+    /// Uniform frame loss probability.
+    pub loss_rate: f64,
+    /// Per-mode power draws.
+    pub power: PowerProfile,
+    /// Battery initialization.
+    pub battery: BatterySpec,
+    /// Sensing range for coverage, meters (10 m in Section 5.1).
+    pub sensing_range: f64,
+    /// Failure injection; `None` for failure-free runs.
+    pub failure: Option<FailureConfig>,
+    /// Metric sampling.
+    pub metrics: MetricsConfig,
+    /// Hard stop for the simulation clock.
+    pub horizon: SimTime,
+    /// Master seed; every node and subsystem derives a decoupled stream.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// The paper's evaluation scenario with `node_count` deployed sensors.
+    pub fn paper(node_count: usize) -> ScenarioConfig {
+        ScenarioConfig {
+            field: Field::paper(),
+            node_count,
+            deployment: Deployment::Uniform,
+            peas: PeasConfig::paper(),
+            grab: Some(GrabConfig::paper()),
+            events: None,
+            channel: Channel::Disc,
+            bitrate_bps: 20_000,
+            loss_rate: 0.0,
+            power: PowerProfile::motes(),
+            battery: BatterySpec::paper(),
+            sensing_range: 10.0,
+            failure: Some(FailureConfig::paper_base()),
+            metrics: MetricsConfig::default(),
+            horizon: SimTime::from_secs(60_000),
+            seed: 1,
+        }
+    }
+
+    /// A small, fast scenario for tests and examples: a 25 × 25 m field
+    /// without failures or data traffic, 60-node deployment.
+    pub fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            field: Field::new(25.0, 25.0),
+            node_count: 60,
+            grab: None,
+            events: None,
+            failure: None,
+            horizon: SimTime::from_secs(2_000),
+            ..ScenarioConfig::paper(60)
+        }
+    }
+
+    /// Overrides the master seed (builder-style convenience).
+    pub fn with_seed(mut self, seed: u64) -> ScenarioConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the failure rate (per 5000 s), builder-style.
+    pub fn with_failure_rate(mut self, rate_per_5000s: f64) -> ScenarioConfig {
+        self.failure = if rate_per_5000s > 0.0 {
+            Some(FailureConfig { rate_per_5000s })
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Validates cross-cutting constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.peas.validate().map_err(|e| e.to_string())?;
+        if let Some(grab) = &self.grab {
+            grab.validate().map_err(str::to_owned)?;
+        }
+        if self.node_count == 0 {
+            return Err("node_count must be at least 1".into());
+        }
+        if !(self.sensing_range.is_finite() && self.sensing_range > 0.0) {
+            return Err("sensing_range must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.loss_rate) {
+            return Err("loss_rate must be in [0, 1]".into());
+        }
+        if self.bitrate_bps == 0 {
+            return Err("bitrate_bps must be positive".into());
+        }
+        if self.metrics.sample_period.is_zero() {
+            return Err("sample_period must be positive".into());
+        }
+        if let Some(f) = self.failure {
+            if !(f.rate_per_5000s.is_finite() && f.rate_per_5000s > 0.0) {
+                return Err("failure rate must be positive".into());
+            }
+        }
+        if let Some(e) = self.events {
+            if !(e.rate_per_100s.is_finite() && e.rate_per_100s > 0.0) {
+                return Err("event rate must be positive".into());
+            }
+            if self.grab.is_none() {
+                return Err("the event workload requires GRAB to be enabled".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peas_des::rng::SimRng;
+
+    #[test]
+    fn paper_scenario_matches_section_5() {
+        let c = ScenarioConfig::paper(480);
+        assert_eq!(c.node_count, 480);
+        assert_eq!(c.field.area(), 2500.0);
+        assert_eq!(c.sensing_range, 10.0);
+        assert_eq!(c.bitrate_bps, 20_000);
+        assert_eq!(c.peas.probing_range, 3.0);
+        assert_eq!(
+            c.failure,
+            Some(FailureConfig {
+                rate_per_5000s: 10.66
+            })
+        );
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn failure_rate_conversion() {
+        let f = FailureConfig::paper_base();
+        assert!((f.per_second() - 10.66 / 5000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn battery_spec_draws_in_range() {
+        let mut rng = SimRng::new(1);
+        let spec = BatterySpec::paper();
+        for _ in 0..50 {
+            let j = spec.draw(&mut rng);
+            assert!((54.0..60.0).contains(&j));
+        }
+        assert_eq!(BatterySpec::Fixed(10.0).draw(&mut rng), 10.0);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = ScenarioConfig::paper(160).with_seed(9).with_failure_rate(48.0);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.failure.unwrap().rate_per_5000s, 48.0);
+        let no_fail = ScenarioConfig::paper(160).with_failure_rate(0.0);
+        assert!(no_fail.failure.is_none());
+    }
+
+    #[test]
+    fn invalid_scenarios_rejected() {
+        let mut c = ScenarioConfig::paper(0);
+        assert!(c.validate().is_err());
+        c = ScenarioConfig::paper(10);
+        c.loss_rate = 1.5;
+        assert!(c.validate().is_err());
+        c = ScenarioConfig::paper(10);
+        c.sensing_range = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn small_scenario_is_valid() {
+        assert!(ScenarioConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn event_workload_requires_grab() {
+        let mut c = ScenarioConfig::paper(60);
+        c.events = Some(EventWorkload { rate_per_100s: 5.0 });
+        assert!(c.validate().is_ok());
+        c.grab = None;
+        assert!(c.validate().is_err());
+        c.grab = Some(peas_grab::GrabConfig::paper());
+        c.events = Some(EventWorkload { rate_per_100s: 0.0 });
+        assert!(c.validate().is_err());
+        assert!((EventWorkload { rate_per_100s: 5.0 }).per_second() - 0.05 < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Multi-seed experiment running and averaging.
+//!
+//! The paper averages every data point over 5 simulation runs
+//! (Section 5.2); [`run_seeds`] reproduces that: one [`World`] per seed,
+//! plus [`AveragedPoint`] summaries for the figures.
+
+use peas_analysis::Summary;
+
+use crate::config::ScenarioConfig;
+use crate::metrics::RunReport;
+use crate::world::World;
+
+/// Runs the scenario once.
+pub fn run_one(config: ScenarioConfig) -> RunReport {
+    World::new(config).run()
+}
+
+/// Runs the scenario once per seed (the paper uses 5 seeds per point).
+pub fn run_seeds(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    seeds
+        .iter()
+        .map(|&seed| run_one(config.clone().with_seed(seed)))
+        .collect()
+}
+
+/// Like [`run_seeds`], but runs the seeds on parallel OS threads. Each run
+/// is fully independent (its own world, RNG streams and medium), so the
+/// reports are identical to the serial version's — only wall time changes.
+pub fn run_seeds_parallel(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let cfg = config.clone().with_seed(seed);
+                scope.spawn(move || run_one(cfg))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
+    })
+}
+
+/// One averaged figure point.
+#[derive(Clone, Debug)]
+pub struct AveragedPoint {
+    /// The x-value of the figure (deployment number, failure rate, …).
+    pub x: f64,
+    /// Summary of the metric across seeds.
+    pub summary: Summary,
+}
+
+impl AveragedPoint {
+    /// Builds a point from per-seed metric values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(x: f64, values: &[f64]) -> AveragedPoint {
+        AveragedPoint {
+            x,
+            summary: Summary::from_slice(values),
+        }
+    }
+}
+
+/// Extracts a metric from every report and averages it.
+pub fn average_metric<F>(x: f64, reports: &[RunReport], metric: F) -> AveragedPoint
+where
+    F: Fn(&RunReport) -> f64,
+{
+    let values: Vec<f64> = reports.iter().map(metric).collect();
+    AveragedPoint::new(x, &values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peas_des::time::SimTime;
+
+    fn tiny() -> ScenarioConfig {
+        let mut c = ScenarioConfig::small();
+        c.node_count = 25;
+        c.horizon = SimTime::from_secs(300);
+        c
+    }
+
+    #[test]
+    fn run_seeds_produces_one_report_per_seed() {
+        let reports = run_seeds(&tiny(), &[1, 2, 3]);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].seed, 1);
+        assert_eq!(reports[2].seed, 3);
+        // Different seeds, different randomness.
+        assert_ne!(reports[0].total_wakeups(), reports[1].total_wakeups());
+    }
+
+    #[test]
+    fn average_metric_summarizes() {
+        let reports = run_seeds(&tiny(), &[4, 5]);
+        let point = average_metric(25.0, &reports, |r| r.total_wakeups() as f64);
+        assert_eq!(point.x, 25.0);
+        assert_eq!(point.summary.n, 2);
+        assert!(point.summary.mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_rejected() {
+        let _ = run_seeds(&tiny(), &[]);
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial() {
+        let config = tiny();
+        let serial = run_seeds(&config, &[7, 8, 9]);
+        let parallel = run_seeds_parallel(&config, &[7, 8, 9]);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.node_stats, b.node_stats);
+            assert_eq!(a.medium, b.medium);
+        }
+    }
+}

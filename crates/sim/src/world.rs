@@ -1,0 +1,1244 @@
+//! The simulated sensor network: PEAS + GRAB over the radio substrate.
+//!
+//! [`World`] owns every node's protocol state machine, battery and RNG
+//! stream, the shared [`Medium`], the failure injector and the metric
+//! samplers. It drives everything through one deterministic event loop; the
+//! same [`ScenarioConfig`] (including seed) always produces the identical
+//! run.
+//!
+//! ## Energy accounting
+//!
+//! Every joule is charged to a [`EnergyCause`] so Table 1's overhead ratio
+//! is measured directly:
+//!
+//! * a node's *baseline* draw follows its mode — sleep 0.03 mW, probing or
+//!   working 12 mW (idle listening); probing-mode time is PEAS overhead;
+//! * transmissions charge the full 60 mW for the frame's airtime to
+//!   `ProtocolTx`/`AppTx` (the baseline for that span is not double
+//!   charged);
+//! * receptions reattribute one frame-time of the baseline to
+//!   `ProtocolRx`/`AppRx` (reception draw equals idle draw on Motes, so the
+//!   total is unchanged — only the attribution moves).
+
+use std::collections::HashMap;
+
+use peas::{
+    Action as PeasAction, Input as PeasInput, Message as PeasMessage, Mode, PeasNode,
+    Timer as PeasTimer,
+};
+use peas_des::prelude::*;
+use peas_geom::{CoverageGrid, Point};
+use peas_grab::{GrabMessage, GrabRelay, GrabSink, GrabSource};
+use peas_radio::{Battery, EnergyCause, EnergyLedger, Medium, NodeId, RxInfo, TxId};
+
+use crate::config::ScenarioConfig;
+use crate::metrics::{RunReport, Sample};
+use crate::trace::{DeathKind as TraceDeathKind, FrameKind, TraceEvent, TraceSink};
+
+/// Boot-phase cost-field floods: the first working set forms within the
+/// first ~30 s (λ₀ = 0.1), so the sink floods a few times early before
+/// settling into the periodic `adv_period` refresh. This keeps the first
+/// reports routable and the cumulative success ratio clean.
+const BOOT_ADV_SECS: [u64; 3] = [10, 30, 60];
+/// Carrier-sense retries before transmitting regardless.
+const MAX_SEND_ATTEMPTS: u8 = 6;
+
+#[derive(Clone, Copy, Debug)]
+enum Payload {
+    Peas(PeasMessage),
+    Grab(GrabMessage),
+}
+
+#[derive(Clone, Copy, Debug)]
+#[allow(clippy::enum_variant_names)] // SensorEvent is the domain term
+enum Event {
+    /// A PEAS timer fired for a sensor.
+    NodeTimer { node: u32, timer: PeasTimer },
+    /// Try to put a frame on the air (fresh, carrier-backoff or GRAB-delayed).
+    SendAttempt {
+        node: u32,
+        payload: Payload,
+        range: f64,
+        attempts: u8,
+    },
+    /// A transmission finished; resolve deliveries.
+    TxDone { tx: TxId },
+    /// Periodic sink cost-field flood.
+    SinkAdv,
+    /// Periodic source report generation.
+    SourceReport,
+    /// Inject one random node failure.
+    Failure,
+    /// A point event occurs somewhere in the field (event workload).
+    SensorEvent,
+    /// Periodic metrics snapshot (also the energy-death granularity).
+    Sample,
+}
+
+struct SensorRt {
+    peas: PeasNode,
+    grab: Option<GrabRelay>,
+    battery: Battery,
+    ledger: EnergyLedger,
+    rng: SimRng,
+    timers: HashMap<PeasTimer, Vec<EventId>>,
+    alive: bool,
+    /// Start of the not-yet-accounted baseline interval.
+    last_account: SimTime,
+    /// Baseline already covered by tx/rx charges up to this instant.
+    baseline_paid_until: SimTime,
+    /// The node's radio is transmitting until this instant.
+    tx_busy_until: SimTime,
+}
+
+/// The running network simulation.
+///
+/// # Examples
+///
+/// ```
+/// use peas_sim::{ScenarioConfig, World};
+///
+/// let report = World::new(ScenarioConfig::small().with_seed(3)).run();
+/// assert!(report.total_wakeups() > 0);
+/// assert!(report.samples.len() > 10);
+/// ```
+pub struct World {
+    cfg: ScenarioConfig,
+    sim: Simulator<Event>,
+    medium: Medium,
+    positions: Vec<Point>,
+    sensors: Vec<SensorRt>,
+    source: Option<GrabSource>,
+    sink: Option<GrabSink>,
+    source_idx: usize,
+    sink_idx: usize,
+    infra_tx_busy: [SimTime; 2],
+    in_flight: HashMap<TxId, (u32, Payload)>,
+    coverage: CoverageGrid,
+    samples: Vec<Sample>,
+    failures_injected: u64,
+    energy_deaths: u64,
+    alive_sensors: usize,
+    failure_rng: SimRng,
+    misc_rng: SimRng,
+    event_rng: SimRng,
+    /// (events occurred, events detected, next event id).
+    event_stats: (u64, u64, u64),
+    /// (detector, event id) pairs launched toward the sink.
+    event_reports: std::collections::HashSet<(u32, u64)>,
+    events_delivered: u64,
+    trace: Option<Box<dyn TraceSink>>,
+    finished: bool,
+}
+
+impl World {
+    /// Builds the network: deploys nodes, boots PEAS, schedules the
+    /// workload, failure injector and samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`ScenarioConfig::validate`].
+    pub fn new(config: ScenarioConfig) -> World {
+        if let Err(e) = config.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        let seed = config.seed;
+        let mut deploy_rng = SimRng::stream(seed, 1);
+        let failure_rng = SimRng::stream(seed, 2);
+        let misc_rng = SimRng::stream(seed, 3);
+        let mut battery_rng = SimRng::stream(seed, 4);
+
+        let mut positions = config
+            .deployment
+            .generate(config.field, config.node_count, &mut deploy_rng);
+        // Infrastructure: source and sink at opposite corners (Section 5.2),
+        // nudged inside the field so they sit on the medium's grid.
+        let (source_idx, sink_idx) = if config.grab.is_some() {
+            positions.push(Point::new(0.5, 0.5));
+            positions.push(Point::new(
+                config.field.width() - 0.5,
+                config.field.height() - 0.5,
+            ));
+            (config.node_count, config.node_count + 1)
+        } else {
+            (usize::MAX, usize::MAX)
+        };
+
+        let medium = Medium::new(
+            config.field,
+            &positions,
+            config.channel.clone(),
+            config.bitrate_bps,
+            config.loss_rate,
+        );
+
+        let mut sim = Simulator::new();
+        let mut sensors = Vec::with_capacity(config.node_count);
+        for i in 0..config.node_count {
+            let mut rt = SensorRt {
+                peas: PeasNode::new(NodeId(i as u32), config.peas.clone()),
+                grab: config.grab.as_ref().map(|g| GrabRelay::new(g.clone())),
+                battery: Battery::new(config.battery.draw(&mut battery_rng)),
+                ledger: EnergyLedger::new(),
+                rng: SimRng::stream(seed, 100 + i as u64),
+                timers: HashMap::new(),
+                alive: true,
+                last_account: SimTime::ZERO,
+                baseline_paid_until: SimTime::ZERO,
+                tx_busy_until: SimTime::ZERO,
+            };
+            let actions = rt.peas.start(&mut rt.rng);
+            for action in actions {
+                if let PeasAction::Schedule { timer, after } = action {
+                    let id = sim.schedule_after(
+                        after,
+                        Event::NodeTimer {
+                            node: i as u32,
+                            timer,
+                        },
+                    );
+                    rt.timers.entry(timer).or_default().push(id);
+                }
+            }
+            sensors.push(rt);
+        }
+
+        let (source, sink) = match &config.grab {
+            Some(grab_cfg) => {
+                for &t in &BOOT_ADV_SECS {
+                    sim.schedule_at(SimTime::from_secs(t), Event::SinkAdv);
+                }
+                sim.schedule_after(grab_cfg.report_period, Event::SourceReport);
+                (
+                    Some(GrabSource::new(
+                        NodeId(source_idx as u32),
+                        grab_cfg.clone(),
+                    )),
+                    Some(GrabSink::new()),
+                )
+            }
+            None => (None, None),
+        };
+
+        let mut world = World {
+            coverage: CoverageGrid::new(config.field, config.metrics.coverage_resolution),
+            alive_sensors: config.node_count,
+            sim,
+            medium,
+            positions,
+            sensors,
+            source,
+            sink,
+            source_idx,
+            sink_idx,
+            infra_tx_busy: [SimTime::ZERO; 2],
+            in_flight: HashMap::new(),
+            samples: Vec::new(),
+            failures_injected: 0,
+            energy_deaths: 0,
+            failure_rng,
+            misc_rng,
+            event_rng: SimRng::stream(seed, 5),
+            event_stats: (0, 0, 0),
+            event_reports: std::collections::HashSet::new(),
+            events_delivered: 0,
+            trace: None,
+            finished: false,
+            cfg: config,
+        };
+        if let Some(f) = world.cfg.failure {
+            let delay = world.failure_rng.exp_duration(f.per_second());
+            world.sim.schedule_after(delay, Event::Failure);
+        }
+        if let Some(e) = world.cfg.events {
+            let delay = world.event_rng.exp_duration(e.per_second());
+            world.sim.schedule_after(delay, Event::SensorEvent);
+        }
+        let sample_period = world.cfg.metrics.sample_period;
+        world.sim.schedule_after(sample_period, Event::Sample);
+        world
+    }
+
+    /// Runs the simulation until the horizon, or until every sensor died.
+    pub fn run(mut self) -> RunReport {
+        let horizon = self.cfg.horizon;
+        while let Some(fired) = self.sim.next_before(horizon) {
+            self.handle(fired.time, fired.id, fired.payload);
+            if self.finished {
+                break;
+            }
+        }
+        self.into_report()
+    }
+
+    /// Runs until the given instant (for incremental inspection in tests
+    /// and examples); returns `true` while the network still has alive
+    /// sensors and the horizon was not reached.
+    pub fn run_until(&mut self, t: SimTime) -> bool {
+        let stop = t.min(self.cfg.horizon);
+        while let Some(fired) = self.sim.next_before(stop) {
+            self.handle(fired.time, fired.id, fired.payload);
+            if self.finished {
+                return false;
+            }
+        }
+        !self.finished && stop < self.cfg.horizon
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Positions of currently working sensors (for connectivity analysis).
+    pub fn working_positions(&self) -> Vec<Point> {
+        self.sensors
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive && s.peas.mode() == Mode::Working)
+            .map(|(i, _)| self.positions[i])
+            .collect()
+    }
+
+    /// Attaches a [`TraceSink`] receiving every mode change, death and
+    /// frame transmission (see [`crate::trace`]). Replaces any previous
+    /// sink. Tracing does not alter the simulation (same seed, same run).
+    pub fn set_trace<S: TraceSink + 'static>(&mut self, sink: S) {
+        self.trace = Some(Box::new(sink));
+    }
+
+    fn emit(&mut self, t: SimTime, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(t, &event);
+        }
+    }
+
+    /// Renders the field as ASCII art, `cols` characters wide: `#` working,
+    /// `.` sleeping/probing, `x` dead, `S`/`K` the GRAB source/sink. When
+    /// several nodes share a character cell the most "active" one wins.
+    pub fn render_ascii(&self, cols: usize) -> String {
+        assert!(cols >= 4, "need at least 4 columns");
+        let aspect = self.cfg.field.height() / self.cfg.field.width();
+        // Terminal cells are ~2x taller than wide.
+        let rows = ((cols as f64 * aspect) / 2.0).ceil().max(1.0) as usize;
+        let mut canvas = vec![vec![' '; cols]; rows];
+        let put = |canvas: &mut Vec<Vec<char>>, p: Point, ch: char, rank: u8| {
+            let cx = ((p.x / self.cfg.field.width()) * cols as f64) as usize;
+            let cy = ((p.y / self.cfg.field.height()) * rows as f64) as usize;
+            let (cx, cy) = (cx.min(cols - 1), cy.min(rows - 1));
+            let current = canvas[cy][cx];
+            let current_rank = match current {
+                'S' | 'K' => 4,
+                '#' => 3,
+                '.' => 2,
+                'x' => 1,
+                _ => 0,
+            };
+            if rank > current_rank {
+                canvas[cy][cx] = ch;
+            }
+        };
+        for (i, s) in self.sensors.iter().enumerate() {
+            let p = self.positions[i];
+            let (ch, rank) = match (s.alive, s.peas.mode()) {
+                (true, Mode::Working) => ('#', 3),
+                (true, _) => ('.', 2),
+                (false, _) => ('x', 1),
+            };
+            put(&mut canvas, p, ch, rank);
+        }
+        if self.source_idx != usize::MAX {
+            put(&mut canvas, self.positions[self.source_idx], 'S', 4);
+            put(&mut canvas, self.positions[self.sink_idx], 'K', 4);
+        }
+        let mut out = String::with_capacity((cols + 3) * (rows + 2));
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push_str("+\n");
+        for row in canvas {
+            out.push('|');
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push_str("+\n");
+        out
+    }
+
+    /// Probing rates λ of alive sleeping sensors (diagnostics).
+    pub fn sleeper_rates(&self) -> Vec<f64> {
+        self.sensors
+            .iter()
+            .filter(|s| s.alive && s.peas.mode() == Mode::Sleeping)
+            .map(|s| s.peas.rate())
+            .collect()
+    }
+
+    /// Current reported estimates λ̂ of alive working sensors (diagnostics):
+    /// what a REPLY sent right now would carry.
+    pub fn worker_estimates(&self) -> Vec<Option<f64>> {
+        let now = self.sim.now();
+        let min_elapsed = peas_des::time::SimDuration::from_secs_f64(
+            1.0 / self.cfg.peas.desired_rate,
+        );
+        self.sensors
+            .iter()
+            .filter(|s| s.alive && s.peas.mode() == Mode::Working)
+            .map(|s| {
+                s.peas
+                    .estimator()
+                    .current_estimate(now, min_elapsed)
+                    .map(|m| m.per_second())
+            })
+            .collect()
+    }
+
+    /// Aggregated GRAB relay counters:
+    /// (forwarded, dropped_budget, dropped_gradient, duplicates).
+    pub fn grab_relay_totals(&self) -> (u64, u64, u64, u64) {
+        let mut totals = (0, 0, 0, 0);
+        for s in &self.sensors {
+            if let Some(g) = &s.grab {
+                totals.0 += g.forwarded();
+                totals.1 += g.dropped_budget();
+                totals.2 += g.dropped_gradient();
+                totals.3 += g.duplicates();
+            }
+        }
+        totals
+    }
+
+    /// Current mode census: (working, probing, sleeping, dead).
+    pub fn mode_census(&self) -> (usize, usize, usize, usize) {
+        let mut census = (0, 0, 0, 0);
+        for s in &self.sensors {
+            match (s.alive, s.peas.mode()) {
+                (true, Mode::Working) => census.0 += 1,
+                (true, Mode::Probing) => census.1 += 1,
+                (true, Mode::Sleeping) => census.2 += 1,
+                _ => census.3 += 1,
+            }
+        }
+        census
+    }
+
+    /// Builds the final report (consumes the world).
+    pub fn into_report(mut self) -> RunReport {
+        let now = self.sim.now();
+        for i in 0..self.sensors.len() {
+            self.account(i, now);
+        }
+        let mut node_stats = peas::NodeStats::default();
+        let mut ledger = EnergyLedger::new();
+        let mut consumed = 0.0;
+        for s in &self.sensors {
+            node_stats.merge(s.peas.stats());
+            ledger.merge(&s.ledger);
+            consumed += s.battery.consumed_j();
+        }
+        RunReport {
+            node_count: self.cfg.node_count,
+            seed: self.cfg.seed,
+            samples: self.samples,
+            node_stats,
+            ledger,
+            consumed_j: consumed,
+            medium: self.medium.stats(),
+            failures_injected: self.failures_injected,
+            energy_deaths: self.energy_deaths,
+            generated_reports: self.source.as_ref().map_or(0, |s| s.generated()),
+            delivered_reports: self
+                .sink
+                .as_ref()
+                .map_or(0, |s| s.delivered_count())
+                .saturating_sub(self.events_delivered),
+            events_total: self.event_stats.0,
+            events_detected: self.event_stats.1,
+            events_delivered: self.events_delivered,
+            end_secs: now.as_secs_f64(),
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, fired_id: EventId, event: Event) {
+        match event {
+            Event::NodeTimer { node, timer } => self.on_node_timer(now, fired_id, node, timer),
+            Event::SendAttempt {
+                node,
+                payload,
+                range,
+                attempts,
+            } => self.try_send(now, node as usize, payload, range, attempts),
+            Event::TxDone { tx } => self.on_tx_done(now, tx),
+            Event::SinkAdv => self.on_sink_adv(now),
+            Event::SourceReport => self.on_source_report(now),
+            Event::Failure => self.on_failure(now),
+            Event::SensorEvent => self.on_sensor_event(now),
+            Event::Sample => self.on_sample(now),
+        }
+    }
+
+    fn on_node_timer(&mut self, now: SimTime, fired_id: EventId, node: u32, timer: PeasTimer) {
+        let idx = node as usize;
+        if let Some(ids) = self.sensors[idx].timers.get_mut(&timer) {
+            ids.retain(|&id| id != fired_id);
+        }
+        if !self.sensors[idx].alive {
+            return;
+        }
+        self.account(idx, now);
+        if !self.sensors[idx].alive {
+            return; // accounting depleted the battery
+        }
+        let input = match timer {
+            PeasTimer::Wake => PeasInput::WakeUp,
+            PeasTimer::ProbeSend => PeasInput::ProbeSendTimer,
+            PeasTimer::ReplyWindow => PeasInput::ReplyWindowClosed,
+            PeasTimer::ReplyBackoff => PeasInput::ReplyBackoff,
+        };
+        self.drive_peas(now, idx, input);
+    }
+
+    /// Feeds one input to a sensor's PEAS machine and applies the actions,
+    /// keeping the GRAB relay in sync with Working-mode membership.
+    fn drive_peas(&mut self, now: SimTime, idx: usize, input: PeasInput) {
+        let mode_before = self.sensors[idx].peas.mode();
+        let was_working = mode_before == Mode::Working;
+        let actions = {
+            let s = &mut self.sensors[idx];
+            // Split borrows: PeasNode and SimRng are separate fields.
+            let SensorRt { peas, rng, .. } = s;
+            peas.on_input(now, input, rng)
+        };
+        let mode_after = self.sensors[idx].peas.mode();
+        if mode_after != mode_before {
+            self.emit(
+                now,
+                TraceEvent::ModeChange {
+                    node: idx as u32,
+                    from: mode_before,
+                    to: mode_after,
+                },
+            );
+        }
+        let is_working = mode_after == Mode::Working;
+        if was_working && !is_working {
+            // Turned off (Section 4 rule): drop GRAB state; the node will
+            // re-learn its cost on the next epoch if it works again.
+            if let Some(grab) = self.sensors[idx].grab.as_mut() {
+                grab.reset();
+            }
+        }
+        self.apply_peas_actions(now, idx, actions);
+    }
+
+    fn apply_peas_actions(&mut self, now: SimTime, idx: usize, actions: Vec<PeasAction>) {
+        for action in actions {
+            match action {
+                PeasAction::Schedule { timer, after } => {
+                    let id = self.sim.schedule_at(
+                        now + after,
+                        Event::NodeTimer {
+                            node: idx as u32,
+                            timer,
+                        },
+                    );
+                    self.sensors[idx].timers.entry(timer).or_default().push(id);
+                }
+                PeasAction::Cancel(timer) => {
+                    if let Some(ids) = self.sensors[idx].timers.remove(&timer) {
+                        for id in ids {
+                            self.sim.cancel(id);
+                        }
+                    }
+                }
+                PeasAction::Broadcast { msg, range } => {
+                    self.try_send(now, idx, Payload::Peas(msg), range, 0);
+                }
+            }
+        }
+    }
+
+    fn payload_size(&self, payload: &Payload) -> usize {
+        match payload {
+            Payload::Peas(msg) => msg.size_bytes(),
+            Payload::Grab(GrabMessage::Adv { .. }) => {
+                self.cfg.grab.as_ref().map_or(25, |g| g.adv_bytes)
+            }
+            Payload::Grab(GrabMessage::Report(_)) => {
+                self.cfg.grab.as_ref().map_or(50, |g| g.report_bytes)
+            }
+        }
+    }
+
+    fn tx_busy_until(&self, idx: usize) -> SimTime {
+        if idx == self.source_idx {
+            self.infra_tx_busy[0]
+        } else if idx == self.sink_idx {
+            self.infra_tx_busy[1]
+        } else {
+            self.sensors[idx].tx_busy_until
+        }
+    }
+
+    fn try_send(&mut self, now: SimTime, idx: usize, payload: Payload, range: f64, attempts: u8) {
+        let is_infra = idx == self.source_idx || idx == self.sink_idx;
+        if !is_infra {
+            let s = &self.sensors[idx];
+            if !s.alive || !s.peas.mode().is_awake() {
+                return; // node died or went to sleep since scheduling
+            }
+            // A relay that stopped working must not forward stale GRAB frames.
+            if matches!(payload, Payload::Grab(_)) && s.peas.mode() != Mode::Working {
+                return;
+            }
+        }
+        // Radio is half-duplex: wait out our own transmission.
+        let busy_until = self.tx_busy_until(idx);
+        if now < busy_until {
+            if attempts < MAX_SEND_ATTEMPTS {
+                let jitter = self
+                    .misc_rng
+                    .range_duration(SimDuration::from_micros(100), SimDuration::from_millis(2));
+                self.sim.schedule_at(
+                    busy_until + jitter,
+                    Event::SendAttempt {
+                        node: idx as u32,
+                        payload,
+                        range,
+                        attempts: attempts + 1,
+                    },
+                );
+            }
+            return;
+        }
+        // CSMA-lite: back off while the channel is audibly busy, but after
+        // MAX attempts transmit anyway (persistence beats starvation).
+        if attempts < MAX_SEND_ATTEMPTS && self.medium.carrier_busy(NodeId(idx as u32), now) {
+            let backoff = self
+                .misc_rng
+                .range_duration(SimDuration::from_millis(1), SimDuration::from_millis(12));
+            self.sim.schedule_at(
+                now + backoff,
+                Event::SendAttempt {
+                    node: idx as u32,
+                    payload,
+                    range,
+                    attempts: attempts + 1,
+                },
+            );
+            return;
+        }
+
+        let size = self.payload_size(&payload);
+        let frame_kind = match payload {
+            Payload::Peas(PeasMessage::Probe) => FrameKind::Probe,
+            Payload::Peas(PeasMessage::Reply(_)) => FrameKind::Reply,
+            Payload::Grab(GrabMessage::Adv { .. }) => FrameKind::Adv,
+            Payload::Grab(GrabMessage::Report(_)) => FrameKind::Report,
+        };
+        self.emit(
+            now,
+            TraceEvent::FrameSent {
+                node: idx as u32,
+                kind: frame_kind,
+                range,
+            },
+        );
+        let tx = self
+            .medium
+            .start_broadcast(now, NodeId(idx as u32), range, size, &mut self.misc_rng);
+        if is_infra {
+            let slot = if idx == self.source_idx { 0 } else { 1 };
+            self.infra_tx_busy[slot] = tx.end;
+        } else {
+            self.account(idx, now);
+            let cause = match payload {
+                Payload::Peas(_) => EnergyCause::ProtocolTx,
+                Payload::Grab(_) => EnergyCause::AppTx,
+            };
+            let s = &mut self.sensors[idx];
+            if s.alive {
+                let alive = s.battery.drain_timed(
+                    self.cfg.power.tx_mw,
+                    tx.airtime,
+                    cause,
+                    &mut s.ledger,
+                );
+                s.baseline_paid_until = tx.end;
+                s.tx_busy_until = tx.end;
+                if !alive {
+                    self.kill(now, idx, DeathCause::Energy);
+                }
+            }
+        }
+        self.in_flight.insert(tx.id, (idx as u32, payload));
+        self.sim.schedule_at(tx.end, Event::TxDone { tx: tx.id });
+    }
+
+    fn on_tx_done(&mut self, now: SimTime, tx: TxId) {
+        let (sender, payload) = self
+            .in_flight
+            .remove(&tx)
+            .expect("TxDone for unknown transmission");
+        let deliveries = self.medium.complete(tx);
+        for d in deliveries {
+            if d.is_ok() {
+                self.dispatch_rx(now, d.receiver.index(), sender, payload, d.info);
+            }
+        }
+    }
+
+    fn dispatch_rx(&mut self, now: SimTime, rx: usize, sender: u32, payload: Payload, info: RxInfo) {
+        if rx == self.sink_idx {
+            if let Payload::Grab(GrabMessage::Report(report)) = payload {
+                if let Some(sink) = self.sink.as_mut() {
+                    let fresh = sink.on_report(report);
+                    if fresh && self.event_reports.contains(&(report.source.0, report.seq)) {
+                        self.events_delivered += 1;
+                    }
+                }
+            }
+            return;
+        }
+        if rx == self.source_idx {
+            if let Payload::Grab(GrabMessage::Adv { epoch, cost }) = payload {
+                if let Some(source) = self.source.as_mut() {
+                    source.on_adv(epoch, cost);
+                }
+            }
+            return;
+        }
+        let s = &self.sensors[rx];
+        if !s.alive || !s.peas.mode().is_awake() {
+            return; // radio powered down; the frame fell on deaf ears
+        }
+        self.account(rx, now);
+        if !self.sensors[rx].alive {
+            return;
+        }
+        // Reattribute one frame-time of baseline as reception energy.
+        let airtime = peas_radio::airtime(self.payload_size(&payload), self.cfg.bitrate_bps);
+        let rx_cause = match payload {
+            Payload::Peas(_) => EnergyCause::ProtocolRx,
+            Payload::Grab(_) => EnergyCause::AppRx,
+        };
+        {
+            let s = &mut self.sensors[rx];
+            let alive =
+                s.battery
+                    .drain_timed(self.cfg.power.rx_mw, airtime, rx_cause, &mut s.ledger);
+            let paid = now + airtime;
+            if paid > s.baseline_paid_until {
+                s.baseline_paid_until = paid;
+            }
+            if !alive {
+                self.kill(now, rx, DeathCause::Energy);
+                return;
+            }
+        }
+        match payload {
+            Payload::Peas(msg) => {
+                self.drive_peas(
+                    now,
+                    rx,
+                    PeasInput::Frame {
+                        from: NodeId(sender),
+                        msg,
+                        info,
+                    },
+                );
+            }
+            Payload::Grab(gmsg) => {
+                if self.sensors[rx].peas.mode() != Mode::Working {
+                    return; // only working nodes relay data
+                }
+                let outgoing = {
+                    let s = &mut self.sensors[rx];
+                    let SensorRt { grab, rng, .. } = s;
+                    let Some(relay) = grab.as_mut() else { return };
+                    match gmsg {
+                        GrabMessage::Adv { epoch, cost } => relay.on_adv(epoch, cost, rng),
+                        GrabMessage::Report(report) => relay.on_report(report, rng),
+                    }
+                };
+                if let Some(out) = outgoing {
+                    let range = self.cfg.grab.as_ref().expect("grab enabled").data_range;
+                    self.sim.schedule_at(
+                        now + out.delay,
+                        Event::SendAttempt {
+                            node: rx as u32,
+                            payload: Payload::Grab(out.msg),
+                            range,
+                            attempts: 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_sink_adv(&mut self, now: SimTime) {
+        let Some(grab_cfg) = self.cfg.grab.clone() else {
+            return;
+        };
+        let msg = self.sink.as_mut().expect("sink exists").next_adv();
+        self.try_send(now, self.sink_idx, Payload::Grab(msg), grab_cfg.data_range, 0);
+        // Chain the periodic refresh only from the last boot flood, so the
+        // boot burst doesn't multiply into parallel flood chains.
+        if now >= SimTime::from_secs(BOOT_ADV_SECS[BOOT_ADV_SECS.len() - 1]) {
+            self.sim.schedule_at(now + grab_cfg.adv_period, Event::SinkAdv);
+        }
+    }
+
+    fn on_source_report(&mut self, now: SimTime) {
+        let Some(grab_cfg) = self.cfg.grab.clone() else {
+            return;
+        };
+        let report = self.source.as_mut().expect("source exists").generate();
+        if let Some(r) = report {
+            self.try_send(
+                now,
+                self.source_idx,
+                Payload::Grab(GrabMessage::Report(r)),
+                grab_cfg.data_range,
+                0,
+            );
+        }
+        self.sim
+            .schedule_at(now + grab_cfg.report_period, Event::SourceReport);
+    }
+
+    fn on_failure(&mut self, now: SimTime) {
+        let Some(f) = self.cfg.failure else { return };
+        if self.alive_sensors > 0 {
+            // Uniform among alive sensors (failures strike any mode —
+            // Section 5.2: "failures are deaths not incurred by energy
+            // depletions").
+            let alive: Vec<usize> = (0..self.sensors.len())
+                .filter(|&i| self.sensors[i].alive)
+                .collect();
+            let victim = alive[self.failure_rng.index(alive.len())];
+            self.account(victim, now);
+            if self.sensors[victim].alive {
+                self.kill(now, victim, DeathCause::Failure);
+            }
+        }
+        let delay = self.failure_rng.exp_duration(f.per_second());
+        self.sim.schedule_after(delay, Event::Failure);
+    }
+
+    /// One point event: the closest working sensor with the event in
+    /// sensing range detects it and launches a GRAB report toward the sink.
+    fn on_sensor_event(&mut self, now: SimTime) {
+        let Some(e) = self.cfg.events else { return };
+        let pos = Point::new(
+            self.event_rng.range_f64(0.0, self.cfg.field.width()),
+            self.event_rng.range_f64(0.0, self.cfg.field.height()),
+        );
+        self.event_stats.0 += 1;
+        let event_id = self.event_stats.2;
+        self.event_stats.2 += 1;
+
+        let detector = self
+            .sensors
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive && s.peas.mode() == Mode::Working)
+            .map(|(i, _)| (i, self.positions[i].distance_squared(pos)))
+            .filter(|&(_, d2)| d2 <= self.cfg.sensing_range * self.cfg.sensing_range)
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i);
+        if let Some(det) = detector {
+            self.event_stats.1 += 1;
+            // The detector needs a route; a relay without a cost cannot
+            // send toward the sink (detected but unreportable).
+            let cost = self.sensors[det].grab.as_ref().and_then(|g| g.cost());
+            if let (Some(cost), Some(grab_cfg)) = (cost, self.cfg.grab.clone()) {
+                let report = peas_grab::Report {
+                    source: NodeId(det as u32),
+                    seq: event_id,
+                    sender_cost: cost,
+                    hops: 1,
+                    budget: grab_cfg.hop_budget(cost),
+                };
+                self.event_reports.insert((det as u32, event_id));
+                self.try_send(
+                    now,
+                    det,
+                    Payload::Grab(GrabMessage::Report(report)),
+                    grab_cfg.data_range,
+                    0,
+                );
+            }
+        }
+        let delay = self.event_rng.exp_duration(e.per_second());
+        self.sim.schedule_after(delay, Event::SensorEvent);
+    }
+
+    fn on_sample(&mut self, now: SimTime) {
+        // Account everyone first: this is also where idle working nodes
+        // discover their battery ran out.
+        for i in 0..self.sensors.len() {
+            if self.sensors[i].alive {
+                self.account(i, now);
+            }
+        }
+        let working: Vec<Point> = self.working_positions();
+        let coverage =
+            self.coverage
+                .k_coverages(&working, self.cfg.sensing_range, self.cfg.metrics.max_k);
+        let (working_n, _probing, sleeping, _dead) = self.mode_census();
+        let delivery_ratio = match (&self.source, &self.sink) {
+            (Some(src), Some(snk)) if src.generated() > 0 => {
+                Some(snk.delivered_count() as f64 / src.generated() as f64)
+            }
+            _ => None,
+        };
+        let total_wakeups = self.sensors.iter().map(|s| s.peas.stats().wakeups).sum();
+        self.samples.push(Sample {
+            t_secs: now.as_secs_f64(),
+            coverage,
+            working: working_n,
+            sleeping,
+            alive: self.alive_sensors,
+            delivery_ratio,
+            total_wakeups,
+        });
+        if self.alive_sensors == 0 {
+            self.finished = true;
+            return;
+        }
+        self.sim
+            .schedule_at(now + self.cfg.metrics.sample_period, Event::Sample);
+    }
+
+    /// Charges the baseline power for the interval since the node was last
+    /// accounted, in its *current* mode. Call before any mode change.
+    fn account(&mut self, idx: usize, now: SimTime) {
+        let power = self.cfg.power;
+        let s = &mut self.sensors[idx];
+        if !s.alive {
+            s.last_account = now;
+            return;
+        }
+        let start = s.last_account;
+        s.last_account = now;
+        if now <= start {
+            return;
+        }
+        let chargeable_from = start.max(s.baseline_paid_until);
+        let dur = now.saturating_since(chargeable_from);
+        if dur.is_zero() {
+            return;
+        }
+        let (mw, cause) = match s.peas.mode() {
+            Mode::Sleeping => (power.sleep_mw, EnergyCause::Sleep),
+            Mode::Probing => (power.idle_mw, EnergyCause::ProtocolIdle),
+            Mode::Working => (power.idle_mw, EnergyCause::WorkingIdle),
+            Mode::Dead => return,
+        };
+        let alive = s.battery.drain_timed(mw, dur, cause, &mut s.ledger);
+        if !alive {
+            self.kill(now, idx, DeathCause::Energy);
+        }
+    }
+
+    fn kill(&mut self, now: SimTime, idx: usize, cause: DeathCause) {
+        if !self.sensors[idx].alive {
+            return;
+        }
+        self.emit(
+            now,
+            TraceEvent::Death {
+                node: idx as u32,
+                cause: match cause {
+                    DeathCause::Failure => TraceDeathKind::Failure,
+                    DeathCause::Energy => TraceDeathKind::Energy,
+                },
+            },
+        );
+        let s = &mut self.sensors[idx];
+        s.alive = false;
+        self.alive_sensors -= 1;
+        match cause {
+            DeathCause::Failure => self.failures_injected += 1,
+            DeathCause::Energy => self.energy_deaths += 1,
+        }
+        s.peas.kill();
+        for (_, ids) in s.timers.drain() {
+            for id in ids {
+                self.sim.cancel(id);
+            }
+        }
+        if let Some(grab) = s.grab.as_mut() {
+            grab.reset();
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DeathCause {
+    Failure,
+    Energy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatterySpec, ScenarioConfig};
+
+    fn quick_config(n: usize, seed: u64) -> ScenarioConfig {
+        let mut c = ScenarioConfig::small().with_seed(seed);
+        c.node_count = n;
+        c
+    }
+
+    #[test]
+    fn working_set_forms_during_boot() {
+        let mut world = World::new(quick_config(60, 1));
+        world.run_until(SimTime::from_secs(120));
+        let (working, _probing, sleeping, dead) = world.mode_census();
+        assert!(working > 5, "expected a working set, got {working}");
+        assert!(sleeping > 10, "most nodes should sleep, got {sleeping}");
+        assert_eq!(dead, 0, "nobody should die during boot");
+    }
+
+    #[test]
+    fn working_set_is_mostly_rp_separated() {
+        // The probing rule plus the Section 4 turn-off rule keep working
+        // nodes roughly Rp apart. Collisions and simultaneous probes into
+        // freshly opened gaps continually manufacture redundant workers
+        // (the paper acknowledges this); the turn-off rule cycles them
+        // back to sleep, so the *average* paired fraction stays bounded.
+        let mut world = World::new(quick_config(80, 7));
+        let rp = world.cfg.peas.probing_range;
+        let mut paired_total = 0usize;
+        let mut workers_total = 0usize;
+        for t in [600u64, 1200, 1800, 2400, 3000] {
+            world.run_until(SimTime::from_secs(t));
+            let working = world.working_positions();
+            let mut paired: std::collections::HashSet<usize> = std::collections::HashSet::new();
+            for i in 0..working.len() {
+                for j in (i + 1)..working.len() {
+                    if working[i].distance(working[j]) < rp {
+                        paired.insert(i);
+                        paired.insert(j);
+                    }
+                }
+            }
+            paired_total += paired.len();
+            workers_total += working.len();
+        }
+        assert!(
+            paired_total * 2 <= workers_total,
+            "{paired_total} paired worker observations out of {workers_total}"
+        );
+        // And the turn-off machinery must actually be cycling them out.
+        let report = world.into_report();
+        assert!(report.node_stats.turnoffs > 0, "turn-off rule never fired");
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = quick_config(40, seed);
+            c.horizon = SimTime::from_secs(600);
+            World::new(c).run()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.total_wakeups(), b.total_wakeups());
+        assert_eq!(a.medium, b.medium);
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(sa, sb);
+        }
+        let c = run(6);
+        assert_ne!(a.total_wakeups(), c.total_wakeups());
+    }
+
+    #[test]
+    fn coverage_rises_then_collapses_when_batteries_die() {
+        let mut c = quick_config(50, 3);
+        c.battery = BatterySpec::Fixed(6.0); // ~500 s of working time
+        c.horizon = SimTime::from_secs(4_000);
+        let report = World::new(c).run();
+        let cov1 = report.coverage_series(1);
+        let peak = cov1.max_value().unwrap();
+        assert!(peak > 0.9, "peak 1-coverage {peak}");
+        let (_, final_cov) = cov1.last().unwrap();
+        assert!(final_cov < 0.5, "coverage should collapse, got {final_cov}");
+        assert!(report.energy_deaths > 0);
+    }
+
+    #[test]
+    fn failures_are_injected_at_the_configured_rate() {
+        let mut c = quick_config(80, 9);
+        // Very aggressive: ~40 failures per 1000 s.
+        c.failure = Some(crate::config::FailureConfig {
+            rate_per_5000s: 200.0,
+        });
+        c.horizon = SimTime::from_secs(1_000);
+        let report = World::new(c).run();
+        assert!(
+            (20..=60).contains(&(report.failures_injected as usize)),
+            "failures {}",
+            report.failures_injected
+        );
+    }
+
+    #[test]
+    fn energy_ledger_matches_battery_consumption() {
+        let mut c = quick_config(30, 11);
+        c.horizon = SimTime::from_secs(500);
+        let report = World::new(c).run();
+        assert!(
+            (report.ledger.total_j() - report.consumed_j).abs() < 1e-6,
+            "ledger {} vs battery {}",
+            report.ledger.total_j(),
+            report.consumed_j
+        );
+        assert!(report.ledger.total_j() > 0.0);
+    }
+
+    #[test]
+    fn overhead_ratio_is_small() {
+        let mut c = quick_config(60, 13);
+        c.horizon = SimTime::from_secs(1_500);
+        let report = World::new(c).run();
+        let ratio = report.overhead_ratio();
+        assert!(
+            ratio < 0.05,
+            "PEAS overhead should be tiny, got {:.4}",
+            ratio
+        );
+        assert!(report.overhead_j() > 0.0, "probing must cost something");
+    }
+
+    #[test]
+    fn grab_delivers_reports_end_to_end() {
+        let mut c = ScenarioConfig::paper(200).with_seed(17);
+        c.failure = None;
+        c.horizon = SimTime::from_secs(900);
+        let report = World::new(c).run();
+        assert!(report.generated_reports >= 80, "{}", report.generated_reports);
+        let ratio = report.final_delivery_ratio().unwrap();
+        assert!(
+            ratio > 0.8,
+            "delivery ratio {ratio} ({} of {})",
+            report.delivered_reports,
+            report.generated_reports
+        );
+    }
+
+    #[test]
+    fn wakeups_accumulate_over_time() {
+        let mut c = quick_config(50, 19);
+        c.horizon = SimTime::from_secs(400);
+        let short = World::new(c.clone()).run();
+        c.horizon = SimTime::from_secs(1_600);
+        let long = World::new(c).run();
+        assert!(long.total_wakeups() > short.total_wakeups());
+    }
+
+    #[test]
+    fn ascii_rendering_shows_the_field() {
+        let mut c = ScenarioConfig::paper(80).with_seed(2);
+        c.horizon = SimTime::from_secs(200);
+        let mut world = World::new(c);
+        world.run_until(SimTime::from_secs(100));
+        let art = world.render_ascii(40);
+        assert!(art.contains('#'), "no working nodes drawn:\n{art}");
+        assert!(art.contains('.'), "no sleeping nodes drawn:\n{art}");
+        assert!(art.contains('S') && art.contains('K'), "infra missing:\n{art}");
+        // Framed: first and last lines are borders of the right width.
+        let first = art.lines().next().unwrap();
+        assert_eq!(first.len(), 42);
+        assert!(first.starts_with('+') && first.ends_with('+'));
+    }
+
+    #[test]
+    fn event_workload_counts_are_consistent() {
+        let mut c = ScenarioConfig::paper(200).with_seed(8);
+        c.failure = None;
+        c.events = Some(crate::config::EventWorkload { rate_per_100s: 40.0 });
+        c.horizon = SimTime::from_secs(800);
+        let report = World::new(c).run();
+        assert!(report.events_total > 100, "{}", report.events_total);
+        assert!(report.events_detected <= report.events_total);
+        assert!(report.events_delivered <= report.events_detected);
+        // A healthy 200-node network sees and reports nearly everything.
+        assert!(report.event_detection_ratio().unwrap() > 0.9);
+        assert!(report.event_delivery_ratio().unwrap() > 0.7);
+    }
+
+    #[test]
+    fn diagnostics_expose_rates_and_estimates() {
+        let mut c = quick_config(60, 4);
+        c.horizon = SimTime::from_secs(600);
+        let mut world = World::new(c);
+        world.run_until(SimTime::from_secs(500));
+        let sleepers = world.sleeper_rates();
+        assert!(!sleepers.is_empty());
+        assert!(sleepers.iter().all(|&r| r > 0.0 && r.is_finite()));
+        let estimates = world.worker_estimates();
+        assert!(!estimates.is_empty());
+        for e in estimates.into_iter().flatten() {
+            assert!(e > 0.0 && e.is_finite());
+        }
+    }
+
+    #[test]
+    fn tracing_observes_the_protocol_without_perturbing_it() {
+        use crate::trace::TraceCounts;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut c = quick_config(50, 6);
+        c.horizon = SimTime::from_secs(500);
+        // Baseline run, untraced.
+        let untraced = World::new(c.clone()).run();
+
+        let counts = Rc::new(RefCell::new(TraceCounts::default()));
+        let sink_counts = Rc::clone(&counts);
+        let first_changes: Rc<RefCell<std::collections::HashMap<u32, (Mode, Mode)>>> =
+            Rc::new(RefCell::new(std::collections::HashMap::new()));
+        let sink_changes = Rc::clone(&first_changes);
+        let mut world = World::new(c);
+        world.set_trace(move |t: SimTime, e: &TraceEvent| {
+            sink_counts.borrow_mut().record(t, e);
+            if let TraceEvent::ModeChange { node, from, to } = *e {
+                sink_changes.borrow_mut().entry(node).or_insert((from, to));
+            }
+        });
+        let traced = world.run();
+
+        // Tracing must not change the run.
+        assert_eq!(traced.samples, untraced.samples);
+        assert_eq!(traced.medium, untraced.medium);
+
+        let counts = counts.borrow();
+        // Every frame the medium saw was announced to the sink.
+        assert_eq!(counts.frames.iter().sum::<u64>(), traced.medium.frames_sent);
+        // Probes dominate replies in a boot phase.
+        assert!(counts.frames[0] > 0 && counts.frames[1] > 0);
+        assert!(counts.mode_changes > 0);
+        // Every node's first transition leaves Sleeping for Probing.
+        for (&node, &(from, to)) in first_changes.borrow().iter() {
+            assert_eq!(from, Mode::Sleeping, "node {node}");
+            assert_eq!(to, Mode::Probing, "node {node}");
+        }
+    }
+
+    #[test]
+    fn all_dead_network_stops_early() {
+        let mut c = quick_config(10, 23);
+        c.battery = BatterySpec::Fixed(0.5); // ~40 s of awake time
+        c.horizon = SimTime::from_secs(50_000);
+        let report = World::new(c).run();
+        assert!(report.end_secs < 10_000.0, "ended at {}", report.end_secs);
+        let last = report.samples.last().unwrap();
+        assert_eq!(last.alive, 0);
+    }
+}

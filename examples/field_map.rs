@@ -1,0 +1,39 @@
+//! Watch the working set evolve: ASCII snapshots of the field through the
+//! network's life — boot, steady state, the first generation's death and
+//! the replacement wave.
+//!
+//! `#` working · `.` sleeping/probing · `x` dead · `S`/`K` source/sink
+//!
+//! ```text
+//! cargo run --release --example field_map
+//! ```
+
+use peas_repro::des::time::SimTime;
+use peas_repro::simulation::{ScenarioConfig, World};
+
+fn main() {
+    let config = ScenarioConfig::paper(320).with_seed(5);
+    let mut world = World::new(config);
+
+    for (t, label) in [
+        (5u64, "t = 5 s — early boot: first probers take over"),
+        (60, "t = 60 s — working set formed, most nodes asleep"),
+        (4_000, "t = 4000 s — steady state"),
+        (5_500, "t = 5500 s — first battery generation dying"),
+        (8_000, "t = 8000 s — replacements carry on"),
+    ] {
+        world.run_until(SimTime::from_secs(t));
+        let (working, probing, sleeping, dead) = world.mode_census();
+        println!("{label}");
+        println!("working {working} | probing {probing} | sleeping {sleeping} | dead {dead}");
+        println!("{}", world.render_ascii(72));
+    }
+
+    let report = world.into_report();
+    println!(
+        "so far: {} wakeups, {:.0} J consumed, overhead {:.3}%",
+        report.total_wakeups(),
+        report.consumed_j,
+        report.overhead_ratio() * 100.0
+    );
+}

@@ -1,0 +1,87 @@
+//! # peas-repro — a full reproduction of PEAS (ICDCS 2003)
+//!
+//! **PEAS: A Robust Energy Conserving Protocol for Long-lived Sensor
+//! Networks** (Ye, Zhong, Cheng, Lu, Zhang) keeps a necessary set of
+//! sensors working and puts the rest to sleep: sleeping nodes wake after
+//! exponentially distributed intervals, probe their `Rp`-neighborhood, and
+//! either take over (silence) or adapt their wakeup rate to the
+//! application-desired aggregate λd and sleep again (a REPLY). The result
+//! is a network whose functioning time grows linearly with the deployed
+//! population, tolerates ~38% unexpected node failures, and spends < 1% of
+//! its energy on the protocol itself.
+//!
+//! This facade crate re-exports the whole reproduction workspace:
+//!
+//! * [`protocol`] — the PEAS state machine ([`peas`]);
+//! * [`simulation`] — the deterministic network simulator ([`peas_sim`])
+//!   with the paper's Section 5 scenario presets;
+//! * [`des`] / [`geometry`] / [`radio`] — the substrates (event engine,
+//!   field/coverage, wireless medium + energy);
+//! * [`forwarding`] — the GRAB-style data-delivery protocol;
+//! * [`baselines`] — always-on / synchronized-rounds / GAF-style
+//!   comparison schedulers;
+//! * [`analysis`] — lifetimes, statistics and the paper's analytical
+//!   reproductions.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use peas_repro::simulation::{ScenarioConfig, World};
+//!
+//! // A small, fast network; ScenarioConfig::paper(n) is the full
+//! // Section 5 evaluation setting.
+//! let report = World::new(ScenarioConfig::small().with_seed(1)).run();
+//! println!(
+//!     "4-coverage lifetime: {:.0} s over {} wakeups",
+//!     report.coverage_lifetime(4, 0.9),
+//!     report.total_wakeups()
+//! );
+//! # assert!(report.total_wakeups() > 0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and the `peas-bench` crate's
+//! `paper` binary for regenerating every figure and table of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The PEAS protocol (re-export of the `peas` crate).
+pub mod protocol {
+    pub use peas::*;
+}
+
+/// The integrated network simulator (re-export of `peas-sim`).
+pub mod simulation {
+    pub use peas_sim::*;
+}
+
+/// The discrete-event engine (re-export of `peas-des`).
+pub mod des {
+    pub use peas_des::*;
+}
+
+/// Geometry, deployment, coverage and connectivity (re-export of
+/// `peas-geom`).
+pub mod geometry {
+    pub use peas_geom::*;
+}
+
+/// The wireless medium and energy model (re-export of `peas-radio`).
+pub mod radio {
+    pub use peas_radio::*;
+}
+
+/// GRAB-style data forwarding (re-export of `peas-grab`).
+pub mod forwarding {
+    pub use peas_grab::*;
+}
+
+/// Baseline sleep schedulers (re-export of `peas-baselines`).
+pub mod baselines {
+    pub use peas_baselines::*;
+}
+
+/// Statistics and analytical reproductions (re-export of `peas-analysis`).
+pub mod analysis {
+    pub use peas_analysis::*;
+}

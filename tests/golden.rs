@@ -1,0 +1,54 @@
+//! Golden-run regression test: a fingerprint of one small simulation's
+//! full sample series. Any change to protocol logic, RNG consumption
+//! order, radio behavior or energy accounting shifts this value — which is
+//! the point: behavioral changes to the simulator must be *deliberate*.
+//!
+//! When an intentional change lands (a protocol fix, a new default), run
+//! the test, review that the new behavior is wanted (EXPERIMENTS.md
+//! numbers still reproduce), and update `GOLDEN_FINGERPRINT` to the value
+//! printed in the failure message.
+
+use peas_repro::des::time::SimTime;
+use peas_repro::simulation::{run_one, ScenarioConfig};
+
+/// FNV-1a over the formatted sample stream.
+fn fingerprint(parts: impl Iterator<Item = String>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for byte in part.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+const GOLDEN_FINGERPRINT: u64 = 0x4053_87E1_0CC7_2444;
+
+#[test]
+fn small_scenario_fingerprint_is_stable() {
+    let mut config = ScenarioConfig::paper(100).with_seed(2024);
+    config.horizon = SimTime::from_secs(1_500);
+    let report = run_one(config);
+    let fp = fingerprint(report.samples.iter().map(|s| {
+        format!(
+            "{:.3}|{:?}|{}|{}|{}|{}|{:?}",
+            s.t_secs,
+            s.coverage
+                .iter()
+                .map(|c| (c * 1e6).round() as u64)
+                .collect::<Vec<_>>(),
+            s.working,
+            s.sleeping,
+            s.alive,
+            s.total_wakeups,
+            s.delivery_ratio.map(|r| (r * 1e6).round() as u64),
+        )
+    }));
+    assert_eq!(
+        fp, GOLDEN_FINGERPRINT,
+        "simulation behavior changed: new fingerprint {fp:#018X}. If the \
+         change is intentional (check EXPERIMENTS.md still reproduces), \
+         update GOLDEN_FINGERPRINT."
+    );
+}
