@@ -96,7 +96,10 @@ mod tests {
         // Relative std at k = 32 is ~1/sqrt(32) ≈ 18%; errors above 50%
         // (nearly 3 sigma) should be rare.
         let within_half = errs.iter().filter(|&&e| e < 0.5).count() as f64 / errs.len() as f64;
-        assert!(within_half > 0.95, "k=32 errors exceed 50% too often: {within_half}");
+        assert!(
+            within_half > 0.95,
+            "k=32 errors exceed 50% too often: {within_half}"
+        );
     }
 
     #[test]

@@ -124,9 +124,7 @@ impl TimeSeries {
         if t >= self.points[self.points.len() - 1].0 {
             return self.points[self.points.len() - 1].1;
         }
-        let idx = self
-            .points
-            .partition_point(|&(pt, _)| pt <= t);
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
         let (t0, v0) = self.points[idx - 1];
         let (t1, v1) = self.points[idx];
         v0 + (v1 - v0) * (t - t0) / (t1 - t0)

@@ -106,7 +106,10 @@ impl BaselineReport {
         if self.awake_counts.is_empty() {
             return 0.0;
         }
-        self.awake_counts.iter().map(|&(_, n)| n as f64).sum::<f64>()
+        self.awake_counts
+            .iter()
+            .map(|&(_, n)| n as f64)
+            .sum::<f64>()
             / self.awake_counts.len() as f64
     }
 }
@@ -135,9 +138,10 @@ where
     let mut failure_rng = SimRng::stream(seed, 3);
     let mut decide_rng = SimRng::stream(seed, 4);
 
-    let positions = scenario
-        .deployment
-        .generate(scenario.field, scenario.node_count, &mut deploy_rng);
+    let positions =
+        scenario
+            .deployment
+            .generate(scenario.field, scenario.node_count, &mut deploy_rng);
     let mut nodes: Vec<SteppedNode> = positions
         .into_iter()
         .map(|pos| SteppedNode {
@@ -149,8 +153,7 @@ where
         .collect();
 
     let coverage = CoverageGrid::new(scenario.field, scenario.coverage_resolution);
-    let failure_per_step =
-        scenario.failure_rate_per_5000s / 5000.0 * scenario.step_secs;
+    let failure_per_step = scenario.failure_rate_per_5000s / 5000.0 * scenario.step_secs;
 
     let mut samples = Vec::new();
     let mut awake_counts = Vec::new();
@@ -163,8 +166,7 @@ where
         while expected > 0.0 {
             let p = expected.min(1.0);
             if failure_rng.bernoulli(p) {
-                let alive: Vec<usize> =
-                    (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
+                let alive: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
                 if let Some(&victim) = failure_rng.choose(&alive) {
                     nodes[victim].alive = false;
                     nodes[victim].awake = false;

@@ -15,8 +15,8 @@
 //!   rotating leadership at round boundaries; a failed leader is only
 //!   replaced at the next boundary.
 
-use peas_des::rng::SimRng;
 use crate::scenario::{run_stepped, BaselineReport, BaselineScenario, SteppedNode};
+use peas_des::rng::SimRng;
 
 /// A baseline sleep-scheduling policy.
 pub trait SleepScheduler {
@@ -71,9 +71,7 @@ fn elect_separated(nodes: &mut [SteppedNode], separation: f64, rng: &mut SimRng)
     let mut elected: Vec<usize> = Vec::new();
     for &i in &order {
         let p = nodes[i].pos;
-        let taken = elected
-            .iter()
-            .any(|&j| nodes[j].pos.within(p, separation));
+        let taken = elected.iter().any(|&j| nodes[j].pos.within(p, separation));
         if !taken {
             elected.push(i);
         }
@@ -158,8 +156,7 @@ impl SleepScheduler for GafGrid {
             next_election = t + round;
             // Leader per cell: the node with the most remaining energy,
             // with a random tiebreak supplied by iteration order shuffle.
-            let mut order: Vec<usize> =
-                (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
+            let mut order: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
             rng.shuffle(&mut order);
             let mut leader: std::collections::HashMap<usize, usize> =
                 std::collections::HashMap::new();
@@ -336,8 +333,7 @@ mod tests {
         // Qualitative Figure 4/5 effect at the network scale: with heavy
         // failures, synchronized coverage degrades between boundaries.
         let clean = SynchronizedRounds::paper().run(&quick_scenario(480), 4);
-        let failing =
-            SynchronizedRounds::paper().run(&quick_scenario(480).with_failures(100.0), 4);
+        let failing = SynchronizedRounds::paper().run(&quick_scenario(480).with_failures(100.0), 4);
         let c = clean.coverage_lifetime(1, 0.9);
         let f = failing.coverage_lifetime(1, 0.9);
         assert!(f < c, "failures must shorten lifetime: {c} vs {f}");
@@ -363,7 +359,11 @@ mod tests {
 
     #[test]
     fn gaf_extends_lifetime_with_population() {
-        let life = |n| GafGrid::paper().run(&quick_scenario(n), 6).coverage_lifetime(1, 0.9);
+        let life = |n| {
+            GafGrid::paper()
+                .run(&quick_scenario(n), 6)
+                .coverage_lifetime(1, 0.9)
+        };
         let l200 = life(200);
         let l600 = life(600);
         assert!(l600 > l200 * 1.5, "{l200} vs {l600}");

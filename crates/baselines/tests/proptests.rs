@@ -9,9 +9,9 @@ use peas_baselines::{
 
 fn arb_scenario() -> impl Strategy<Value = (BaselineScenario, u64)> {
     (
-        20usize..150,        // node_count
-        0.0f64..100.0,       // failure rate per 5000 s
-        any::<u64>(),        // seed
+        20usize..150,  // node_count
+        0.0f64..100.0, // failure rate per 5000 s
+        any::<u64>(),  // seed
     )
         .prop_map(|(n, failures, seed)| {
             let mut s = BaselineScenario::paper(n).with_failures(failures);

@@ -131,9 +131,7 @@ fn bench_kaccuracy(c: &mut Criterion) {
     let mut g = c.benchmark_group("analysis");
     g.sample_size(10);
     g.bench_function("sec221_estimator_accuracy", |b| {
-        b.iter(|| {
-            black_box(peas_analysis::poisson::estimator_errors(32, 0.02, 5_000, 7))
-        });
+        b.iter(|| black_box(peas_analysis::poisson::estimator_errors(32, 0.02, 5_000, 7)));
     });
     g.finish();
 }
@@ -152,7 +150,9 @@ fn bench_connectivity_check(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("sec3_connectivity_validation", |b| {
         b.iter(|| {
-            let mut config = ScenarioConfig::paper(160).with_failure_rate(0.0).with_seed(3);
+            let mut config = ScenarioConfig::paper(160)
+                .with_failure_rate(0.0)
+                .with_seed(3);
             config.grab = None;
             config.horizon = SimTime::from_secs(800);
             let mut world = World::new(config.clone());
@@ -223,7 +223,9 @@ fn bench_irregular(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("sec4_fixed_power_shadowed", |b| {
         b.iter(|| {
-            let mut cfg = ScenarioConfig::paper(120).with_seed(3).with_failure_rate(0.0);
+            let mut cfg = ScenarioConfig::paper(120)
+                .with_seed(3)
+                .with_failure_rate(0.0);
             cfg.grab = None;
             cfg.channel = Channel::shadowed(5);
             cfg.peas = PeasConfig::builder().fixed_power(10.0).build();

@@ -157,7 +157,11 @@ fn bench_peas_node(c: &mut Criterion) {
                 },
                 &mut rng,
             ));
-            black_box(node.on_input(t + SimDuration::from_millis(60), Input::ReplyBackoff, &mut rng));
+            black_box(node.on_input(
+                t + SimDuration::from_millis(60),
+                Input::ReplyBackoff,
+                &mut rng,
+            ));
         });
     });
 }

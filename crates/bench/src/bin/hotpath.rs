@@ -1,0 +1,151 @@
+//! Hot-path throughput benchmark: runs the paper-scale scenario and reports
+//! simulator events per wall-clock second plus peak RSS, writing the result
+//! to `BENCH_hotpath.json`.
+//!
+//! Usage:
+//!   hotpath [--nodes N] [--horizon-secs S] [--seeds a,b,c]
+//!           [--reps N] [--out PATH] [--baseline PATH]
+//!
+//! `--baseline` points at a previous run's JSON; the new file then records
+//! the speedup against it, so before/after comparisons use the same binary
+//! and scenario. The reported wall time is the best of `--reps`
+//! repetitions of the whole seed set, which screens out scheduler noise on
+//! busy machines.
+
+use std::time::Instant;
+
+use peas_des::time::SimTime;
+use peas_sim::{run_one, ScenarioConfig};
+
+struct Args {
+    nodes: usize,
+    horizon_secs: u64,
+    seeds: Vec<u64>,
+    reps: u32,
+    out: String,
+    baseline: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            nodes: 320,
+            horizon_secs: 2_000,
+            seeds: vec![1, 2, 3],
+            reps: 3,
+            out: "BENCH_hotpath.json".to_string(),
+            baseline: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--nodes" => args.nodes = value("--nodes").parse().expect("bad --nodes"),
+                "--horizon-secs" => {
+                    args.horizon_secs = value("--horizon-secs").parse().expect("bad --horizon-secs")
+                }
+                "--seeds" => {
+                    args.seeds = value("--seeds")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad --seeds"))
+                        .collect()
+                }
+                "--reps" => args.reps = value("--reps").parse().expect("bad --reps"),
+                "--out" => args.out = value("--out"),
+                "--baseline" => args.baseline = Some(value("--baseline")),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(!args.seeds.is_empty(), "need at least one seed");
+        assert!(args.reps > 0, "need at least one repetition");
+        args
+    }
+}
+
+/// Peak resident set size in bytes from `/proc/self/status` (`VmHWM`),
+/// or `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Pulls `"events_per_sec": <float>` out of a previous run's JSON without a
+/// JSON dependency.
+fn baseline_events_per_sec(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"events_per_sec\":";
+    let rest = &text[text.find(key)? + key.len()..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args = Args::parse();
+    let config = |seed: u64| {
+        let mut c = ScenarioConfig::paper(args.nodes).with_seed(seed);
+        c.horizon = SimTime::from_secs(args.horizon_secs);
+        c
+    };
+
+    // Warm-up run (untimed): page in code, size allocator pools.
+    let _ = run_one(config(args.seeds[0]));
+
+    let mut total_events: u64 = 0;
+    let mut total_wakeups: u64 = 0;
+    let mut wall = f64::INFINITY;
+    for rep in 0..args.reps {
+        let mut rep_events: u64 = 0;
+        let mut rep_wakeups: u64 = 0;
+        let start = Instant::now();
+        for &seed in &args.seeds {
+            let report = run_one(config(seed));
+            rep_events += report.events_processed;
+            rep_wakeups += report.total_wakeups();
+        }
+        wall = wall.min(start.elapsed().as_secs_f64());
+        if rep == 0 {
+            (total_events, total_wakeups) = (rep_events, rep_wakeups);
+        } else {
+            // Determinism check for free: every repetition replays the
+            // identical event stream.
+            assert_eq!((rep_events, rep_wakeups), (total_events, total_wakeups));
+        }
+    }
+    let events_per_sec = total_events as f64 / wall;
+    let rss = peak_rss_bytes();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"nodes\": {},\n", args.nodes));
+    json.push_str(&format!("  \"horizon_secs\": {},\n", args.horizon_secs));
+    json.push_str(&format!(
+        "  \"seeds\": [{}],\n",
+        args.seeds
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("  \"wall_secs\": {wall:.3},\n"));
+    json.push_str(&format!("  \"events_processed\": {total_events},\n"));
+    json.push_str(&format!("  \"total_wakeups\": {total_wakeups},\n"));
+    match rss {
+        Some(bytes) => json.push_str(&format!("  \"peak_rss_bytes\": {bytes},\n")),
+        None => json.push_str("  \"peak_rss_bytes\": null,\n"),
+    }
+    if let Some(base) = args.baseline.as_deref().and_then(baseline_events_per_sec) {
+        json.push_str(&format!("  \"baseline_events_per_sec\": {base:.1},\n"));
+        json.push_str(&format!("  \"speedup\": {:.3},\n", events_per_sec / base));
+    }
+    json.push_str(&format!("  \"events_per_sec\": {events_per_sec:.1}\n"));
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {}", args.out);
+}

@@ -48,7 +48,11 @@ fn main() -> ExitCode {
             eprintln!("--seeds requires a comma-separated list");
             return ExitCode::FAILURE;
         };
-        match list.split(',').map(str::parse).collect::<Result<Vec<u64>, _>>() {
+        match list
+            .split(',')
+            .map(str::parse)
+            .collect::<Result<Vec<u64>, _>>()
+        {
             Ok(seeds) if !seeds.is_empty() => opts.seeds = seeds,
             _ => {
                 eprintln!("--seeds requires a comma-separated list of integers");
@@ -98,10 +102,7 @@ fn main() -> ExitCode {
         "turnoff" => print!("{}", experiments::turnoff(&opts)),
         "baselines" => print!("{}", experiments::baselines(&opts)),
         "smoke" => {
-            let n = args
-                .get(1)
-                .and_then(|a| a.parse().ok())
-                .unwrap_or(160usize);
+            let n = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(160usize);
             let seed = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(1u64);
             print!("{}", experiments::smoke(n, seed));
         }

@@ -94,7 +94,11 @@ pub fn fig9(points: &[SweepPoint]) -> String {
         let c4 = p.mean(|r| r.coverage_lifetime(4, LIFETIME_THRESHOLD));
         let c5 = p.mean(|r| r.coverage_lifetime(5, LIFETIME_THRESHOLD));
         cov4_points.push((p.x, c4));
-        let _ = writeln!(out, "{:>5}   {:>10.0}   {:>10.0}   {:>10.0}", p.x, c3, c4, c5);
+        let _ = writeln!(
+            out,
+            "{:>5}   {:>10.0}   {:>10.0}   {:>10.0}",
+            p.x, c3, c4, c5
+        );
     }
     let _ = writeln!(out, "{}", fit_note(&cov4_points));
     out
@@ -315,7 +319,9 @@ pub fn connectivity(opts: &ExperimentOpts) -> String {
          seed   workers   max-NN (m)   bound (m)   lemma   conn@(1+sqrt5)Rp   conn@10m\n",
     );
     for &seed in &opts.seeds {
-        let mut config = ScenarioConfig::paper(n).with_failure_rate(0.0).with_seed(seed);
+        let mut config = ScenarioConfig::paper(n)
+            .with_failure_rate(0.0)
+            .with_seed(seed);
         config.grab = None;
         config.horizon = SimTime::from_secs(2_000);
         let mut world = World::new(config.clone());
@@ -376,8 +382,8 @@ pub fn loss(opts: &ExperimentOpts) -> String {
                 })
                 .sum::<f64>()
                 / reports.len() as f64;
-            let overhead = reports.iter().map(|r| r.overhead_ratio()).sum::<f64>()
-                / reports.len() as f64;
+            let overhead =
+                reports.iter().map(|r| r.overhead_ratio()).sum::<f64>() / reports.len() as f64;
             let _ = writeln!(
                 out,
                 "{:>4.2}   {:>6}   {:>12.1}   {:>16.3}   {:>13.3}%",
@@ -461,7 +467,10 @@ pub fn baselines(opts: &ExperimentOpts) -> String {
         let mean_life = |s: &dyn SleepScheduler| {
             opts.seeds
                 .iter()
-                .map(|&seed| s.run(&scenario, seed).coverage_lifetime(1, LIFETIME_THRESHOLD))
+                .map(|&seed| {
+                    s.run(&scenario, seed)
+                        .coverage_lifetime(1, LIFETIME_THRESHOLD)
+                })
                 .sum::<f64>()
                 / opts.seeds.len() as f64
         };
@@ -485,9 +494,7 @@ pub fn baselines(opts: &ExperimentOpts) -> String {
             peas_life
         );
     }
-    out.push_str(
-        "always-on is flat at one battery (~4500-5000 s); the schedulers scale with N.\n",
-    );
+    out.push_str("always-on is flat at one battery (~4500-5000 s); the schedulers scale with N.\n");
     out
 }
 
@@ -595,11 +602,13 @@ pub fn events(opts: &ExperimentOpts) -> String {
     );
     for &n in &ns {
         let mut config = ScenarioConfig::paper(n).with_failure_rate(10.66);
-        config.events = Some(EventWorkload { rate_per_100s: 20.0 });
+        config.events = Some(EventWorkload {
+            rate_per_100s: 20.0,
+        });
         config.horizon = SimTime::from_secs(4_000);
         let reports = run_seeds(&config, &opts.seeds);
-        let total = reports.iter().map(|r| r.events_total).sum::<u64>() as f64
-            / reports.len() as f64;
+        let total =
+            reports.iter().map(|r| r.events_total).sum::<u64>() as f64 / reports.len() as f64;
         let detected = reports
             .iter()
             .filter_map(|r| r.event_detection_ratio())
@@ -690,8 +699,8 @@ pub fn lambdad_sweep(opts: &ExperimentOpts) -> String {
             .map(|r| r.wakeup_series().value_at(4_000.0) - r.wakeup_series().value_at(3_000.0))
             .sum::<f64>()
             / reports.len() as f64;
-        let overhead = reports.iter().map(|r| r.overhead_ratio()).sum::<f64>()
-            / reports.len() as f64;
+        let overhead =
+            reports.iter().map(|r| r.overhead_ratio()).sum::<f64>() / reports.len() as f64;
         let cov4 = reports
             .iter()
             .map(|r| r.coverage_series(4).value_at(3_500.0))

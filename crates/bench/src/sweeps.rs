@@ -6,7 +6,7 @@
 //! numbers were produced (Section 5.2: "Given each node population, the
 //! results are averaged over 5 simulation runs").
 
-use peas_sim::{run_seeds_parallel, RunReport, ScenarioConfig};
+use peas_sim::{run_configs_parallel, RunReport, ScenarioConfig};
 
 /// One sweep point: the x-value and the per-seed reports.
 #[derive(Debug)]
@@ -29,29 +29,51 @@ impl SweepPoint {
 /// The paper sweeps N ∈ {160, 320, 480, 640, 800} with a failure rate of
 /// 10.66 per 5000 s, five seeds per point.
 pub fn deployment_sweep(node_counts: &[usize], seeds: &[u64]) -> Vec<SweepPoint> {
-    node_counts
-        .iter()
-        .map(|&n| {
-            let config = ScenarioConfig::paper(n);
-            SweepPoint {
-                x: n as f64,
-                reports: run_seeds_parallel(&config, seeds),
-            }
-        })
-        .collect()
+    sweep(
+        node_counts
+            .iter()
+            .map(|&n| (n as f64, ScenarioConfig::paper(n)))
+            .collect(),
+        seeds,
+    )
 }
 
 /// The failure-rate sweep behind Figures 12–14: N = 480, rates from 5.33
 /// to 48 per 5000 s in steps of 5.33.
 pub fn failure_sweep(node_count: usize, rates: &[f64], seeds: &[u64]) -> Vec<SweepPoint> {
-    rates
+    sweep(
+        rates
+            .iter()
+            .map(|&rate| {
+                (
+                    rate,
+                    ScenarioConfig::paper(node_count).with_failure_rate(rate),
+                )
+            })
+            .collect(),
+        seeds,
+    )
+}
+
+/// Flattens every (point, seed) run into one job list for the bounded
+/// worker pool, so the whole sweep keeps all cores busy instead of
+/// synchronizing after each sweep point, then reassembles the reports into
+/// per-point groups in input order.
+fn sweep(points: Vec<(f64, ScenarioConfig)>, seeds: &[u64]) -> Vec<SweepPoint> {
+    assert!(
+        points.is_empty() || !seeds.is_empty(),
+        "need at least one seed"
+    );
+    let configs = points
         .iter()
-        .map(|&rate| {
-            let config = ScenarioConfig::paper(node_count).with_failure_rate(rate);
-            SweepPoint {
-                x: rate,
-                reports: run_seeds_parallel(&config, seeds),
-            }
+        .flat_map(|(_, config)| seeds.iter().map(|&seed| config.clone().with_seed(seed)))
+        .collect();
+    let mut reports = run_configs_parallel(configs).into_iter();
+    points
+        .into_iter()
+        .map(|(x, _)| SweepPoint {
+            x,
+            reports: reports.by_ref().take(seeds.len()).collect(),
         })
         .collect()
 }
@@ -60,9 +82,8 @@ pub fn failure_sweep(node_count: usize, rates: &[f64], seeds: &[u64]) -> Vec<Swe
 pub const PAPER_NODE_COUNTS: [usize; 5] = [160, 320, 480, 640, 800];
 
 /// The paper's failure rates (per 5000 s): 5.33 × {1..9}.
-pub const PAPER_FAILURE_RATES: [f64; 9] = [
-    5.33, 10.66, 16.0, 21.33, 26.66, 32.0, 37.33, 42.66, 48.0,
-];
+pub const PAPER_FAILURE_RATES: [f64; 9] =
+    [5.33, 10.66, 16.0, 21.33, 26.66, 32.0, 37.33, 42.66, 48.0];
 
 /// The paper's seed count per point.
 pub const PAPER_SEEDS: [u64; 5] = [101, 102, 103, 104, 105];
@@ -91,7 +112,7 @@ mod tests {
                 c.node_count = n;
                 SweepPoint {
                     x: n as f64,
-                    reports: run_seeds_parallel(&c, &[1, 2]),
+                    reports: peas_sim::run_seeds_parallel(&c, &[1, 2]),
                 }
             })
             .collect();

@@ -44,6 +44,10 @@ pub fn adjusted_rate(
 /// Folds the REPLYs collected during one probing window into the node's new
 /// rate: picks the largest λ̂ (the lowest resulting rate) and applies
 /// Equation 2; keeps `current` when no REPLY carried a measurement yet.
+///
+/// A REPLY whose `desired_rate` is non-positive or non-finite is ignored
+/// rather than fed into [`adjusted_rate`] (whose positivity assert it would
+/// trip): a single corrupted or adversarial frame must not abort the run.
 pub fn rate_from_replies<'a>(
     current: f64,
     bounds: (f64, f64),
@@ -52,6 +56,9 @@ pub fn rate_from_replies<'a>(
 ) -> f64 {
     let mut best: Option<(RateMeasurement, f64)> = None;
     for reply in replies {
+        if !(reply.desired_rate.is_finite() && reply.desired_rate > 0.0) {
+            continue;
+        }
         if let Some(m) = reply.measured_rate {
             let better = match best {
                 None => true,
@@ -189,5 +196,24 @@ mod tests {
     #[should_panic(expected = "rates must be positive")]
     fn rejects_nonpositive_current() {
         let _ = adjusted_rate(0.0, 0.02, RateMeasurement::new(0.1), BOUNDS, CAP);
+    }
+
+    #[test]
+    fn invalid_desired_rates_are_ignored_not_fatal() {
+        // Regression: a REPLY with a corrupted λd used to reach
+        // `adjusted_rate` and trip its positivity assert, aborting the run.
+        for bad in [0.0, -0.02, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let replies = [reply(Some(0.05), bad)];
+            assert_eq!(rate_from_replies(0.1, BOUNDS, CAP, replies.iter()), 0.1);
+        }
+        // A valid REPLY alongside corrupted ones still adjusts the rate —
+        // even when a corrupted frame carries the larger measurement.
+        let replies = [
+            reply(Some(0.9), f64::NAN),
+            reply(Some(0.05), 0.02),
+            reply(Some(0.8), -1.0),
+        ];
+        let next = rate_from_replies(0.1, BOUNDS, CAP, replies.iter());
+        assert!((next - 0.04).abs() < 1e-12);
     }
 }

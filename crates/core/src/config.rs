@@ -386,17 +386,32 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(PeasConfig::builder().probing_range(0.0).try_build().is_err());
-        assert!(PeasConfig::builder().initial_rate(-1.0).try_build().is_err());
+        assert!(PeasConfig::builder()
+            .probing_range(0.0)
+            .try_build()
+            .is_err());
+        assert!(PeasConfig::builder()
+            .initial_rate(-1.0)
+            .try_build()
+            .is_err());
         assert!(PeasConfig::builder().desired_rate(0.0).try_build().is_err());
-        assert!(PeasConfig::builder().measure_threshold(0).try_build().is_err());
+        assert!(PeasConfig::builder()
+            .measure_threshold(0)
+            .try_build()
+            .is_err());
         assert!(PeasConfig::builder().probe_count(0).try_build().is_err());
         assert!(PeasConfig::builder()
             .probe_spread(SimDuration::from_secs(1))
             .try_build()
             .is_err());
-        assert!(PeasConfig::builder().rate_bounds(0.0, 1.0).try_build().is_err());
-        assert!(PeasConfig::builder().rate_bounds(2.0, 1.0).try_build().is_err());
+        assert!(PeasConfig::builder()
+            .rate_bounds(0.0, 1.0)
+            .try_build()
+            .is_err());
+        assert!(PeasConfig::builder()
+            .rate_bounds(2.0, 1.0)
+            .try_build()
+            .is_err());
         // Fixed power must reach at least Rp.
         assert!(PeasConfig::builder().fixed_power(1.0).try_build().is_err());
     }

@@ -310,8 +310,7 @@ impl PeasNode {
     ) -> Vec<Action> {
         // Fixed-power threshold rule (Section 4): only frames that appear to
         // originate within the probing range count.
-        if self.config.fixed_power.is_some()
-            && !info.stronger_than_range(self.config.probing_range)
+        if self.config.fixed_power.is_some() && !info.stronger_than_range(self.config.probing_range)
         {
             return Vec::new();
         }
@@ -389,7 +388,11 @@ impl PeasNode {
         if std::env::var("PEAS_TRACE_TURNOFF").is_ok() {
             eprintln!(
                 "TURNOFF-EVAL me={} from={} my_tw={:.3} sender_tw={:.3} yield={}",
-                self.id.0, from.0, my_tw.as_secs_f64(), reply.working_time.as_secs_f64(), i_yield
+                self.id.0,
+                from.0,
+                my_tw.as_secs_f64(),
+                reply.working_time.as_secs_f64(),
+                i_yield
             );
         }
         if !i_yield {
@@ -507,12 +510,28 @@ mod tests {
         assert_eq!(n.stats().wakeups, 1);
         let probe_timers = actions
             .iter()
-            .filter(|a| matches!(a, Action::Schedule { timer: Timer::ProbeSend, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Schedule {
+                        timer: Timer::ProbeSend,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(probe_timers, 3, "paper sends three PROBEs");
         let window = actions
             .iter()
-            .find(|a| matches!(a, Action::Schedule { timer: Timer::ReplyWindow, .. }))
+            .find(|a| {
+                matches!(
+                    a,
+                    Action::Schedule {
+                        timer: Timer::ReplyWindow,
+                        ..
+                    }
+                )
+            })
             .expect("reply window scheduled");
         match window {
             Action::Schedule { after, .. } => {
@@ -547,7 +566,10 @@ mod tests {
         assert!(actions.is_empty());
         assert_eq!(n.mode(), Mode::Working);
         assert_eq!(n.stats().window_silent, 1);
-        assert_eq!(n.working_time(t(15.1)), Some(SimDuration::from_secs_f64(5.0)));
+        assert_eq!(
+            n.working_time(t(15.1)),
+            Some(SimDuration::from_secs_f64(5.0))
+        );
     }
 
     #[test]
@@ -564,7 +586,10 @@ mod tests {
         assert_eq!(n.stats().window_with_reply, 1);
         assert!(matches!(
             actions[0],
-            Action::Schedule { timer: Timer::Wake, .. }
+            Action::Schedule {
+                timer: Timer::Wake,
+                ..
+            }
         ));
     }
 
@@ -602,7 +627,10 @@ mod tests {
         let actions = n.on_input(t(20.0), frame(Message::Probe), &mut rng);
         assert!(matches!(
             actions[0],
-            Action::Schedule { timer: Timer::ReplyBackoff, .. }
+            Action::Schedule {
+                timer: Timer::ReplyBackoff,
+                ..
+            }
         ));
         let actions = n.on_input(t(20.02), Input::ReplyBackoff, &mut rng);
         match &actions[0] {
@@ -664,13 +692,17 @@ mod tests {
         let mut n = booted_node(&mut rng);
         n.on_input(t(10.0), Input::WakeUp, &mut rng);
         n.on_input(t(10.1), Input::ReplyWindowClosed, &mut rng); // working since 10.1
-        // Overhear a REPLY from a node that has worked 100 s; we worked ~5 s.
+                                                                 // Overhear a REPLY from a node that has worked 100 s; we worked ~5 s.
         let actions = n.on_input(t(15.0), frame(reply_msg(None, 100)), &mut rng);
         assert_eq!(n.mode(), Mode::Sleeping);
         assert_eq!(n.stats().turnoffs, 1);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Schedule { timer: Timer::Wake, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Schedule {
+                timer: Timer::Wake,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -711,7 +743,7 @@ mod tests {
             n.start(&mut rng);
             n.on_input(t(10.0), Input::WakeUp, &mut rng);
             n.on_input(t(10.15), Input::ReplyWindowClosed, &mut rng); // working
-            // Overhear a REPLY whose Tw matches ours to within ~200 ms.
+                                                                      // Overhear a REPLY whose Tw matches ours to within ~200 ms.
             let my_tw_at_reception = 5.0;
             let input = Input::Frame {
                 from: NodeId(from_id),
@@ -749,7 +781,7 @@ mod tests {
         n.start(&mut rng);
         n.on_input(t(10.0), Input::WakeUp, &mut rng);
         n.on_input(t(10.1), Input::ReplyWindowClosed, &mut rng); // working
-        // A PROBE from 8 m away: audible (within Rt) but filtered (> Rp).
+                                                                 // A PROBE from 8 m away: audible (within Rt) but filtered (> Rp).
         let weak = Input::Frame {
             from: NodeId(1),
             msg: Message::Probe,
@@ -828,7 +860,9 @@ mod tests {
         let mut rng = SimRng::new(18);
         let mut n = booted_node(&mut rng);
         // ProbeSend while sleeping: stale.
-        assert!(n.on_input(t(1.0), Input::ProbeSendTimer, &mut rng).is_empty());
+        assert!(n
+            .on_input(t(1.0), Input::ProbeSendTimer, &mut rng)
+            .is_empty());
         // ReplyWindow while sleeping: stale.
         assert!(n
             .on_input(t(1.0), Input::ReplyWindowClosed, &mut rng)

@@ -7,7 +7,7 @@
 //! `cancel` O(log n) / O(1).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::time::SimTime;
@@ -24,10 +24,10 @@ impl fmt::Debug for EventId {
     }
 }
 
+// An entry's id is always `EventId(seq)`; it is not stored separately.
 struct Entry<E> {
     time: SimTime,
     seq: u64,
-    id: EventId,
     payload: E,
 }
 
@@ -84,8 +84,54 @@ pub struct Fired<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Ids of scheduled events that have neither fired nor been cancelled.
-    pending: HashSet<EventId>,
+    pending: PendingBits,
     next_seq: u64,
+}
+
+/// Pending-membership set over the dense, monotonically issued event ids:
+/// one bit per id ever issued, so insert/remove/contains are branch-light
+/// word operations instead of hashing. Memory grows by one bit per
+/// scheduled event and is never reclaimed until [`EventQueue::clear`].
+#[derive(Default)]
+struct PendingBits {
+    words: Vec<u64>,
+    live: usize,
+}
+
+impl PendingBits {
+    fn insert(&mut self, id: u64) {
+        let (w, mask) = ((id / 64) as usize, 1u64 << (id % 64));
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        debug_assert_eq!(self.words[w] & mask, 0, "event id issued twice");
+        self.words[w] |= mask;
+        self.live += 1;
+    }
+
+    /// Clears the bit; `true` if it was set.
+    fn remove(&mut self, id: u64) -> bool {
+        let (w, mask) = ((id / 64) as usize, 1u64 << (id % 64));
+        match self.words.get_mut(w) {
+            Some(word) if *word & mask != 0 => {
+                *word &= !mask;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.words
+            .get((id / 64) as usize)
+            .is_some_and(|word| word & (1 << (id % 64)) != 0)
+    }
+
+    fn clear(&mut self) {
+        self.words.clear();
+        self.live = 0;
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -99,7 +145,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            pending: PendingBits::default(),
             next_seq: 0,
         }
     }
@@ -111,13 +157,8 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.heap.push(Entry {
-            time,
-            seq,
-            id,
-            payload,
-        });
-        self.pending.insert(id);
+        self.heap.push(Entry { time, seq, payload });
+        self.pending.insert(seq);
         id
     }
 
@@ -126,16 +167,16 @@ impl<E> EventQueue<E> {
     pub fn cancel(&mut self, id: EventId) -> bool {
         // Removing from `pending` is the single source of truth; the heap
         // entry becomes a tombstone that `pop`/`peek_time` skip lazily.
-        self.pending.remove(&id)
+        self.pending.remove(id.0)
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<Fired<E>> {
         while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.id) {
+            if self.pending.remove(entry.seq) {
                 return Some(Fired {
                     time: entry.time,
-                    id: entry.id,
+                    id: EventId(entry.seq),
                     payload: entry.payload,
                 });
             }
@@ -148,7 +189,7 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drain tombstones off the top so peek reflects a live event.
         while let Some(top) = self.heap.peek() {
-            if self.pending.contains(&top.id) {
+            if self.pending.contains(top.seq) {
                 return Some(top.time);
             }
             self.heap.pop();
@@ -158,12 +199,12 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.pending.live
     }
 
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.pending.live == 0
     }
 
     /// Total number of events ever scheduled (monotone counter).
@@ -181,7 +222,7 @@ impl<E> EventQueue<E> {
 impl<E> fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventQueue")
-            .field("live", &self.pending.len())
+            .field("live", &self.pending.live)
             .field("scheduled_total", &self.next_seq)
             .finish()
     }

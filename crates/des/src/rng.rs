@@ -58,7 +58,12 @@ impl SimRng {
         }
         // xoshiro must not start from the all-zero state.
         if s == [0, 0, 0, 0] {
-            s = [0x1, 0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB];
+            s = [
+                0x1,
+                0x9E3779B97F4A7C15,
+                0xBF58476D1CE4E5B9,
+                0x94D049BB133111EB,
+            ];
         }
         SimRng { s }
     }
@@ -316,7 +321,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move things"
+        );
     }
 
     #[test]

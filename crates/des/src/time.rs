@@ -159,7 +159,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0, "duration factor must be non-negative, got {factor}");
+        assert!(
+            factor >= 0.0,
+            "duration factor must be non-negative, got {factor}"
+        );
         let nanos = (self.0 as f64) * factor;
         if nanos >= u64::MAX as f64 {
             SimDuration::MAX
@@ -316,8 +319,14 @@ mod tests {
         assert_eq!(d * 3, SimDuration::from_millis(300));
         assert_eq!(d / 4, SimDuration::from_micros(25_000));
         assert_eq!(d + d, SimDuration::from_millis(200));
-        assert_eq!(d - SimDuration::from_millis(40), SimDuration::from_millis(60));
-        assert_eq!(SimDuration::from_millis(40).saturating_sub(d), SimDuration::ZERO);
+        assert_eq!(
+            d - SimDuration::from_millis(40),
+            SimDuration::from_millis(60)
+        );
+        assert_eq!(
+            SimDuration::from_millis(40).saturating_sub(d),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -357,7 +366,10 @@ mod tests {
 
     #[test]
     fn display_formats_seconds() {
-        assert_eq!(format!("{}", SimTime::from_millis_for_test(1500)), "1.500000s");
+        assert_eq!(
+            format!("{}", SimTime::from_millis_for_test(1500)),
+            "1.500000s"
+        );
         assert_eq!(format!("{}", SimDuration::from_millis(25)), "0.025000s");
     }
 

@@ -67,30 +67,88 @@ impl CoverageGrid {
     /// Rasterizes one disc per working node, so the cost is
     /// O(workers · (range/resolution)²) rather than O(samples · workers).
     pub fn coverage_counts(&self, working: &[Point], sensing_range: f64) -> Vec<u32> {
-        let mut counts = vec![0u32; self.sample_count()];
-        let r2 = sensing_range * sensing_range;
+        let mut counts = Vec::new();
+        self.coverage_counts_into(working, sensing_range, &mut counts);
+        counts
+    }
+
+    /// Like [`CoverageGrid::coverage_counts`], writing into a caller-owned
+    /// buffer (cleared and resized first) so periodic measurements can reuse
+    /// one allocation.
+    pub fn coverage_counts_into(
+        &self,
+        working: &[Point],
+        sensing_range: f64,
+        counts: &mut Vec<u32>,
+    ) {
+        counts.clear();
+        counts.resize(self.sample_count(), 0);
         for &w in working {
-            let lo_i = (((w.x - sensing_range) / self.resolution - 0.5).floor()).max(0.0) as usize;
-            let lo_j = (((w.y - sensing_range) / self.resolution - 0.5).floor()).max(0.0) as usize;
-            let hi_i = ((((w.x + sensing_range) / self.resolution) as usize).max(lo_i)).min(self.cols.saturating_sub(1));
-            let hi_j = ((((w.y + sensing_range) / self.resolution) as usize).max(lo_j)).min(self.rows.saturating_sub(1));
-            for j in lo_j..=hi_j {
-                let y = (j as f64 + 0.5) * self.resolution;
-                let dy2 = (y - w.y) * (y - w.y);
-                if dy2 > r2 {
-                    continue;
-                }
-                let row = j * self.cols;
-                for (i, count) in counts[row + lo_i..=row + hi_i].iter_mut().enumerate() {
-                    let x = ((lo_i + i) as f64 + 0.5) * self.resolution;
-                    let dx = x - w.x;
-                    if dx * dx + dy2 <= r2 {
-                        *count += 1;
-                    }
+            self.add_disc(w, sensing_range, counts);
+        }
+    }
+
+    /// Rasterizes one node's sensing disc, incrementing the covered cells.
+    ///
+    /// Counts maintained by paired [`CoverageGrid::add_disc`] /
+    /// [`CoverageGrid::remove_disc`] calls as nodes start and stop working
+    /// are exactly the counts a full rasterization of the current working
+    /// set would produce — integer increments commute — which is what lets
+    /// the simulator keep coverage incrementally instead of re-scanning
+    /// every working node at each sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != self.sample_count()`.
+    pub fn add_disc(&self, w: Point, sensing_range: f64, counts: &mut [u32]) {
+        self.disc_cells(w, sensing_range, counts, |c| *c += 1);
+    }
+
+    /// Reverses one [`CoverageGrid::add_disc`] for a node that stopped
+    /// working at the same position and range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != self.sample_count()`, or (in debug builds,
+    /// via overflow checks) if the disc was never added.
+    pub fn remove_disc(&self, w: Point, sensing_range: f64, counts: &mut [u32]) {
+        self.disc_cells(w, sensing_range, counts, |c| *c -= 1);
+    }
+
+    fn disc_cells(
+        &self,
+        w: Point,
+        sensing_range: f64,
+        counts: &mut [u32],
+        mut apply: impl FnMut(&mut u32),
+    ) {
+        assert_eq!(
+            counts.len(),
+            self.sample_count(),
+            "counts buffer size mismatch"
+        );
+        let r2 = sensing_range * sensing_range;
+        let lo_i = (((w.x - sensing_range) / self.resolution - 0.5).floor()).max(0.0) as usize;
+        let lo_j = (((w.y - sensing_range) / self.resolution - 0.5).floor()).max(0.0) as usize;
+        let hi_i = ((((w.x + sensing_range) / self.resolution) as usize).max(lo_i))
+            .min(self.cols.saturating_sub(1));
+        let hi_j = ((((w.y + sensing_range) / self.resolution) as usize).max(lo_j))
+            .min(self.rows.saturating_sub(1));
+        for j in lo_j..=hi_j {
+            let y = (j as f64 + 0.5) * self.resolution;
+            let dy2 = (y - w.y) * (y - w.y);
+            if dy2 > r2 {
+                continue;
+            }
+            let row = j * self.cols;
+            for (i, count) in counts[row + lo_i..=row + hi_i].iter_mut().enumerate() {
+                let x = ((lo_i + i) as f64 + 0.5) * self.resolution;
+                let dx = x - w.x;
+                if dx * dx + dy2 <= r2 {
+                    apply(count);
                 }
             }
         }
-        counts
     }
 
     /// Fraction of the field monitored by at least `k` working nodes.
@@ -111,11 +169,40 @@ impl CoverageGrid {
     /// calling [`CoverageGrid::k_coverage`] repeatedly; the simulator samples
     /// 3-, 4- and 5-coverage together (Fig 9).
     pub fn k_coverages(&self, working: &[Point], sensing_range: f64, max_k: u32) -> Vec<f64> {
+        let mut counts = Vec::new();
+        self.k_coverages_with(working, sensing_range, max_k, &mut counts)
+    }
+
+    /// Like [`CoverageGrid::k_coverages`], rasterizing into a caller-owned
+    /// scratch buffer so periodic measurements can reuse one allocation.
+    pub fn k_coverages_with(
+        &self,
+        working: &[Point],
+        sensing_range: f64,
+        max_k: u32,
+        counts: &mut Vec<u32>,
+    ) -> Vec<f64> {
+        self.coverage_counts_into(working, sensing_range, counts);
+        self.k_coverages_from_counts(counts, max_k)
+    }
+
+    /// K-coverage for every `k` in `1..=max_k` from already-computed
+    /// per-cell counts (see [`CoverageGrid::add_disc`] for maintaining them
+    /// incrementally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_k == 0` or `counts.len() != self.sample_count()`.
+    pub fn k_coverages_from_counts(&self, counts: &[u32], max_k: u32) -> Vec<f64> {
         assert!(max_k > 0, "need at least k = 1");
-        let counts = self.coverage_counts(working, sensing_range);
+        assert_eq!(
+            counts.len(),
+            self.sample_count(),
+            "counts buffer size mismatch"
+        );
         let total = counts.len() as f64;
         let mut hist = vec![0usize; max_k as usize + 1];
-        for &c in &counts {
+        for &c in counts.iter() {
             hist[(c.min(max_k)) as usize] += 1;
         }
         // Suffix sums: points with count >= k.
@@ -125,7 +212,9 @@ impl CoverageGrid {
             acc += hist[k];
             at_least[k] = acc;
         }
-        (1..=max_k as usize).map(|k| at_least[k] as f64 / total).collect()
+        (1..=max_k as usize)
+            .map(|k| at_least[k] as f64 / total)
+            .collect()
     }
 }
 
@@ -173,13 +262,14 @@ mod tests {
     #[test]
     fn k_coverages_are_monotone_in_k() {
         let g = grid();
-        let working: Vec<Point> = (0..10)
-            .map(|i| Point::new(2.0 * i as f64, 10.0))
-            .collect();
+        let working: Vec<Point> = (0..10).map(|i| Point::new(2.0 * i as f64, 10.0)).collect();
         let covs = g.k_coverages(&working, 6.0, 5);
         assert_eq!(covs.len(), 5);
         for w in covs.windows(2) {
-            assert!(w[0] >= w[1], "k-coverage must not increase with k: {covs:?}");
+            assert!(
+                w[0] >= w[1],
+                "k-coverage must not increase with k: {covs:?}"
+            );
         }
         // And each matches the individual computation.
         for (i, &c) in covs.iter().enumerate() {
@@ -211,11 +301,39 @@ mod tests {
         for j in 0..g.rows {
             for i in 0..g.cols {
                 let p = Point::new((i as f64 + 0.5) * 1.5, (j as f64 + 0.5) * 1.5);
-                brute[j * g.cols + i] =
-                    working.iter().filter(|w| w.within(p, 7.0)).count() as u32;
+                brute[j * g.cols + i] = working.iter().filter(|w| w.within(p, 7.0)).count() as u32;
             }
         }
         assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn incremental_discs_match_full_rasterization() {
+        use peas_des::rng::SimRng;
+        let g = CoverageGrid::new(Field::new(30.0, 30.0), 1.5);
+        let mut rng = SimRng::new(5);
+        let pts: Vec<Point> = (0..30)
+            .map(|_| Point::new(rng.range_f64(0.0, 30.0), rng.range_f64(0.0, 30.0)))
+            .collect();
+        let mut counts = vec![0u32; g.sample_count()];
+        for &p in &pts {
+            g.add_disc(p, 6.0, &mut counts);
+        }
+        // Remove every other disc; the survivors' full rasterization and the
+        // k-coverage derived from the residual counts must both agree.
+        let mut kept = Vec::new();
+        for (i, &p) in pts.iter().enumerate() {
+            if i % 2 == 0 {
+                g.remove_disc(p, 6.0, &mut counts);
+            } else {
+                kept.push(p);
+            }
+        }
+        assert_eq!(counts, g.coverage_counts(&kept, 6.0));
+        assert_eq!(
+            g.k_coverages_from_counts(&counts, 3),
+            g.k_coverages(&kept, 6.0, 3)
+        );
     }
 
     #[test]

@@ -54,9 +54,7 @@ impl Deployment {
     /// spread.
     pub fn generate(&self, field: Field, n: usize, rng: &mut SimRng) -> Vec<Point> {
         match *self {
-            Deployment::Uniform => (0..n)
-                .map(|_| uniform_point(field, rng))
-                .collect(),
+            Deployment::Uniform => (0..n).map(|_| uniform_point(field, rng)).collect(),
             Deployment::JitteredGrid => jittered_grid(field, n, rng),
             Deployment::Explicit(ref positions) => {
                 assert_eq!(
@@ -73,20 +71,20 @@ impl Deployment {
                 positions.clone()
             }
             Deployment::Clustered { centers, std_dev } => {
-                assert!(centers > 0, "clustered deployment needs at least one center");
+                assert!(
+                    centers > 0,
+                    "clustered deployment needs at least one center"
+                );
                 assert!(
                     std_dev.is_finite() && std_dev > 0.0,
                     "cluster spread must be positive"
                 );
-                let seeds: Vec<Point> =
-                    (0..centers).map(|_| uniform_point(field, rng)).collect();
+                let seeds: Vec<Point> = (0..centers).map(|_| uniform_point(field, rng)).collect();
                 (0..n)
                     .map(|_| {
                         let seed = seeds[rng.index(seeds.len())];
-                        let p = Point::new(
-                            rng.normal(seed.x, std_dev),
-                            rng.normal(seed.y, std_dev),
-                        );
+                        let p =
+                            Point::new(rng.normal(seed.x, std_dev), rng.normal(seed.y, std_dev));
                         field.clamp(p)
                     })
                     .collect()
@@ -227,7 +225,9 @@ mod tests {
         let field = Field::paper();
         let mut rng = SimRng::new(1);
         assert!(Deployment::Uniform.generate(field, 0, &mut rng).is_empty());
-        assert!(Deployment::JitteredGrid.generate(field, 0, &mut rng).is_empty());
+        assert!(Deployment::JitteredGrid
+            .generate(field, 0, &mut rng)
+            .is_empty());
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl SpatialGrid {
     ///
     /// Panics if `p` has non-finite or negative coordinates.
     pub fn insert(&mut self, id: usize, p: Point) {
-        assert!(p.is_finite() && p.x >= 0.0 && p.y >= 0.0, "bad position {p:?}");
+        assert!(
+            p.is_finite() && p.x >= 0.0 && p.y >= 0.0,
+            "bad position {p:?}"
+        );
         let b = self.bucket_index(p);
         self.buckets[b].push((id, p));
     }
@@ -188,7 +191,12 @@ mod tests {
         use peas_des::rng::SimRng;
         let mut rng = SimRng::new(42);
         let points: Vec<(usize, Point)> = (0..300)
-            .map(|i| (i, Point::new(rng.range_f64(0.0, 50.0), rng.range_f64(0.0, 50.0))))
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.range_f64(0.0, 50.0), rng.range_f64(0.0, 50.0)),
+                )
+            })
             .collect();
         let g = grid_with(&points);
         for _ in 0..50 {

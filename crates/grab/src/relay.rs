@@ -49,7 +49,7 @@ impl CostState {
     pub fn observe_adv(&mut self, epoch: u32, neighbor_cost: u32) -> Option<u32> {
         let my_cost = neighbor_cost.saturating_add(1);
         match self.state {
-            Some((e, _)) if e > epoch => None,           // stale epoch
+            Some((e, _)) if e > epoch => None,                  // stale epoch
             Some((e, c)) if e == epoch && c <= my_cost => None, // no improvement
             _ => {
                 self.state = Some((epoch, my_cost));
@@ -114,13 +114,15 @@ impl GrabRelay {
 
     /// Handles a received ADV; returns the rebroadcast if the cost improved.
     pub fn on_adv(&mut self, epoch: u32, neighbor_cost: u32, rng: &mut SimRng) -> Option<Outgoing> {
-        self.cost.observe_adv(epoch, neighbor_cost).map(|my_cost| Outgoing {
-            msg: GrabMessage::Adv {
-                epoch,
-                cost: my_cost,
-            },
-            delay: rng.range_duration(SimDuration::ZERO, self.config.adv_delay_max),
-        })
+        self.cost
+            .observe_adv(epoch, neighbor_cost)
+            .map(|my_cost| Outgoing {
+                msg: GrabMessage::Adv {
+                    epoch,
+                    cost: my_cost,
+                },
+                delay: rng.range_duration(SimDuration::ZERO, self.config.adv_delay_max),
+            })
     }
 
     /// Handles a received report copy; returns the forwarded copy when the
@@ -276,7 +278,7 @@ mod tests {
         let mut r = relay();
         let mut rng = SimRng::new(4);
         r.on_adv(1, 4, &mut rng); // cost = 5
-        // budget 7, hops 3 consumed, 5 more needed -> 8 > 7: drop.
+                                  // budget 7, hops 3 consumed, 5 more needed -> 8 > 7: drop.
         assert!(r.on_report(report(1, 6, 3, 7), &mut rng).is_none());
         assert_eq!(r.dropped_budget(), 1);
         // budget 8 affords it exactly: forward.

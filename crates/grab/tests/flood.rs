@@ -131,11 +131,8 @@ impl StaticNet {
         report: Report,
         rng: &mut SimRng,
     ) -> bool {
-        let mut queue: VecDeque<(usize, Report)> = self
-            .source_neighbors
-            .iter()
-            .map(|&r| (r, report))
-            .collect();
+        let mut queue: VecDeque<(usize, Report)> =
+            self.source_neighbors.iter().map(|&r| (r, report)).collect();
         let mut delivered = false;
         while let Some((r, rep)) = queue.pop_front() {
             if let Some(out) = relays[r].on_report(rep, rng) {

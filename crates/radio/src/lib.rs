@@ -43,6 +43,7 @@ pub mod energy;
 pub mod medium;
 pub mod packet;
 pub mod power;
+pub mod reference;
 
 pub use channel::Channel;
 pub use energy::{Battery, EnergyCause, EnergyLedger};

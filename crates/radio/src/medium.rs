@@ -10,8 +10,17 @@
 //! time, and calls [`Medium::complete`] there to learn which receivers got
 //! the frame intact. Whether a receiver was awake is the simulator's
 //! business — the medium reports physical reception only.
-
-use std::collections::HashMap;
+//!
+//! ## Storage and determinism
+//!
+//! In-flight transmissions live in dense, slot-indexed storage: a slot (and
+//! its receiver-list allocation) is recycled through a free list once its
+//! transmission completes, so the steady-state hot path performs no heap
+//! allocation. Random loss is drawn once per decodable receiver, in
+//! [`SpatialGrid`] candidate order (bucket row-major, insertion order within
+//! a bucket); that draw order is part of the medium's determinism contract
+//! and is relied upon by the differential tests against the brute-force
+//! reference implementation (see `reference.rs`).
 
 use peas_des::rng::SimRng;
 use peas_des::time::{SimDuration, SimTime};
@@ -21,8 +30,30 @@ use crate::channel::Channel;
 use crate::packet::{airtime, NodeId, RxInfo};
 
 /// Identifier of one in-flight transmission.
+///
+/// Packs the dense storage slot (low 32 bits, recycled between
+/// transmissions) with a per-slot generation counter (high 32 bits), so
+/// every handle stays unique over the medium's lifetime even though slots
+/// are reused.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct TxId(u64);
+
+impl TxId {
+    fn pack(slot: u32, generation: u32) -> TxId {
+        TxId(((generation as u64) << 32) | slot as u64)
+    }
+
+    /// Dense storage index of this transmission: unique among transmissions
+    /// in flight at the same instant, recycled after completion. Useful as
+    /// a direct array index for caller-side per-transmission state.
+    pub fn slot(self) -> usize {
+        (self.0 & u32::MAX as u64) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// A started broadcast: schedule the completion at `end`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -77,16 +108,39 @@ pub struct MediumStats {
     pub random_losses: u64,
 }
 
+/// Marks an [`Arrival`] as the transmitting node's own (half-duplex) slot
+/// occupation rather than a receiver entry.
+const SENDER_ENTRY: u32 = u32::MAX;
+
+/// One transmission currently arriving at a node.
 #[derive(Clone, Copy, Debug)]
 struct Arrival {
-    tx: TxId,
+    /// Storage slot of the transmission.
+    slot: u32,
+    /// Index into that slot's receiver list, or [`SENDER_ENTRY`] when the
+    /// node is the transmission's sender.
+    entry: u32,
 }
 
-struct TxRecord {
+/// One receiver's copy of an in-flight frame.
+#[derive(Clone, Copy, Debug)]
+struct RxEntry {
+    rx: NodeId,
+    info: RxInfo,
+    /// Dropped by the uniform loss process.
+    lost: bool,
+    /// Destroyed by an overlapping transmission at this receiver.
+    corrupted: bool,
+}
+
+/// Dense per-slot transmission state. The `receivers` allocation is kept
+/// across reuse so steady-state broadcasts allocate nothing.
+struct TxSlot {
+    generation: u32,
+    active: bool,
     sender: NodeId,
-    /// (receiver, link info, lost-to-random-loss)
-    receivers: Vec<(NodeId, RxInfo, bool)>,
     end: SimTime,
+    receivers: Vec<RxEntry>,
 }
 
 /// The broadcast medium shared by all nodes of one network.
@@ -114,15 +168,17 @@ pub struct Medium {
     channel: Channel,
     bitrate_bps: u64,
     loss_rate: f64,
-    records: HashMap<TxId, TxRecord>,
+    /// Slot-indexed in-flight transmissions; inactive slots are listed in
+    /// `free` and recycled by the next broadcast.
+    slots: Vec<TxSlot>,
+    free: Vec<u32>,
     /// Per node: transmissions currently arriving there (plus its own).
     arrivals: Vec<Vec<Arrival>>,
-    /// (tx, receiver) pairs destroyed by overlap.
-    corrupted: std::collections::HashSet<(TxId, NodeId)>,
     /// Ongoing transmissions for carrier sensing: (sender pos, range, end).
     on_air: Vec<(Point, f64, SimTime)>,
+    /// Reused buffer for the in-reach candidates of one broadcast.
+    scratch: Vec<(usize, Point)>,
     stats: MediumStats,
-    next_id: u64,
 }
 
 impl Medium {
@@ -141,7 +197,10 @@ impl Medium {
         bitrate_bps: u64,
         loss_rate: f64,
     ) -> Medium {
-        assert!((0.0..=1.0).contains(&loss_rate), "loss rate {loss_rate} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&loss_rate),
+            "loss rate {loss_rate} not in [0,1]"
+        );
         assert!(bitrate_bps > 0, "bitrate must be positive");
         let mut grid = SpatialGrid::new(field, 10.0);
         for (i, &p) in positions.iter().enumerate() {
@@ -154,12 +213,12 @@ impl Medium {
             channel,
             bitrate_bps,
             loss_rate,
-            records: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             arrivals: vec![Vec::new(); positions.len()],
-            corrupted: std::collections::HashSet::new(),
             on_air: Vec::new(),
+            scratch: Vec::new(),
             stats: MediumStats::default(),
-            next_id: 0,
         }
     }
 
@@ -185,7 +244,14 @@ impl Medium {
     /// Whether `node` would sense the channel busy at `now` (some ongoing
     /// transmission is audible at its position).
     pub fn carrier_busy(&mut self, node: NodeId, now: SimTime) -> bool {
-        self.on_air.retain(|&(_, _, end)| end > now);
+        let mut i = 0;
+        while i < self.on_air.len() {
+            if self.on_air[i].2 <= now {
+                self.on_air.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
         let pos = self.positions[node.index()];
         self.on_air
             .iter()
@@ -213,18 +279,45 @@ impl Medium {
         assert!(intended_range > 0.0, "intended range must be positive");
         let duration = airtime(size_bytes, self.bitrate_bps);
         let end = now + duration;
-        let id = TxId(self.next_id);
-        self.next_id += 1;
         self.stats.frames_sent += 1;
+
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(!s.active, "free list held an active slot");
+                s.generation = s.generation.wrapping_add(1);
+                s.active = true;
+                s.sender = sender;
+                s.end = end;
+                s.receivers.clear();
+                slot
+            }
+            None => {
+                assert!(
+                    self.slots.len() < u32::MAX as usize,
+                    "too many in-flight transmissions"
+                );
+                self.slots.push(TxSlot {
+                    generation: 0,
+                    active: true,
+                    sender,
+                    end,
+                    receivers: Vec::new(),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let id = TxId::pack(slot, self.slots[slot as usize].generation);
 
         let sender_pos = self.positions[sender.index()];
         let reach = self.channel.max_reach(intended_range);
-        let mut receivers = Vec::new();
         // Sender occupies its own radio (half-duplex): its entry corrupts
         // any frame arriving during this transmission.
-        self.note_arrival(id, sender);
-        let in_reach: Vec<(usize, Point)> = self.grid.within_entries(sender_pos, reach).collect();
-        for (idx, pos) in in_reach {
+        self.note_arrival(slot, SENDER_ENTRY, sender);
+        let mut in_reach = std::mem::take(&mut self.scratch);
+        in_reach.clear();
+        in_reach.extend(self.grid.within_entries(sender_pos, reach));
+        for &(idx, pos) in &in_reach {
             if idx == sender.index() {
                 continue;
             }
@@ -235,25 +328,20 @@ impl Medium {
                 continue; // too weak to decode at this power level
             }
             let lost = rng.bernoulli(self.loss_rate);
-            self.note_arrival(id, rx);
-            receivers.push((
+            let entry = self.slots[slot as usize].receivers.len() as u32;
+            self.slots[slot as usize].receivers.push(RxEntry {
                 rx,
-                RxInfo {
+                info: RxInfo {
                     distance: dist,
                     effective_distance: eff,
                 },
                 lost,
-            ));
+                corrupted: false,
+            });
+            self.note_arrival(slot, entry, rx);
         }
+        self.scratch = in_reach;
         self.on_air.push((sender_pos, reach, end));
-        self.records.insert(
-            id,
-            TxRecord {
-                sender,
-                receivers,
-                end,
-            },
-        );
         Transmission {
             id,
             airtime: duration,
@@ -261,16 +349,38 @@ impl Medium {
         }
     }
 
-    /// Registers that `tx` is arriving at `node` until `end`, corrupting any
-    /// overlap in both directions.
-    fn note_arrival(&mut self, tx: TxId, node: NodeId) {
+    /// Registers that transmission `slot` is arriving at `node` (as receiver
+    /// entry `entry`, or as the sender itself), corrupting any overlap in
+    /// both directions.
+    fn note_arrival(&mut self, slot: u32, entry: u32, node: NodeId) {
+        let n = node.index();
         // All stored arrivals still have end > "now" (completed ones are
         // removed at their end instant), so any existing entry overlaps.
-        for a in &self.arrivals[node.index()] {
-            self.corrupted.insert((a.tx, node));
-            self.corrupted.insert((tx, node));
+        // Corruption of a sender's own slot occupation has no observable
+        // effect (the sender hears nothing anyway), so only receiver
+        // entries carry the flag.
+        if !self.arrivals[n].is_empty() {
+            for k in 0..self.arrivals[n].len() {
+                let a = self.arrivals[n][k];
+                if a.entry != SENDER_ENTRY {
+                    self.slots[a.slot as usize].receivers[a.entry as usize].corrupted = true;
+                }
+            }
+            if entry != SENDER_ENTRY {
+                self.slots[slot as usize].receivers[entry as usize].corrupted = true;
+            }
         }
-        self.arrivals[node.index()].push(Arrival { tx });
+        self.arrivals[n].push(Arrival { slot, entry });
+    }
+
+    /// Drops `node`'s arrival marker for `slot` (order-insensitive).
+    fn remove_arrival(&mut self, node: NodeId, slot: u32) {
+        let list = &mut self.arrivals[node.index()];
+        let pos = list
+            .iter()
+            .position(|a| a.slot == slot)
+            .expect("arrival bookkeeping out of sync");
+        list.swap_remove(pos);
     }
 
     /// Completes a transmission, reporting every physical receiver's
@@ -281,36 +391,52 @@ impl Medium {
     ///
     /// Panics if `tx` was never started or was already completed.
     pub fn complete(&mut self, tx: TxId) -> Vec<Delivery> {
-        let record = self
-            .records
-            .remove(&tx)
-            .expect("complete() called for unknown or already-completed transmission");
-        // Remove this tx's arrival markers (receivers + the sender's own).
-        self.arrivals[record.sender.index()].retain(|a| a.tx != tx);
-        let mut deliveries = Vec::with_capacity(record.receivers.len());
-        for (rx, info, lost) in record.receivers {
-            self.arrivals[rx.index()].retain(|a| a.tx != tx);
-            let collided = self.corrupted.remove(&(tx, rx));
-            let outcome = if collided {
+        let mut out = Vec::new();
+        self.complete_into(tx, &mut out);
+        out
+    }
+
+    /// Like [`Medium::complete`], but writes the deliveries into a
+    /// caller-owned buffer (cleared first) so the per-transmission
+    /// allocation can be reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` was never started or was already completed.
+    pub fn complete_into(&mut self, tx: TxId, out: &mut Vec<Delivery>) {
+        out.clear();
+        let slot = tx.slot();
+        let known = self
+            .slots
+            .get(slot)
+            .is_some_and(|s| s.active && s.generation == tx.generation());
+        assert!(
+            known,
+            "complete() called for unknown or already-completed transmission"
+        );
+        let sender = self.slots[slot].sender;
+        self.remove_arrival(sender, slot as u32);
+        for i in 0..self.slots[slot].receivers.len() {
+            let e = self.slots[slot].receivers[i];
+            self.remove_arrival(e.rx, slot as u32);
+            let outcome = if e.corrupted {
                 self.stats.collisions += 1;
                 RxOutcome::Collision
-            } else if lost {
+            } else if e.lost {
                 self.stats.random_losses += 1;
                 RxOutcome::RandomLoss
             } else {
                 self.stats.deliveries_ok += 1;
                 RxOutcome::Ok
             };
-            deliveries.push(Delivery {
-                receiver: rx,
-                info,
+            out.push(Delivery {
+                receiver: e.rx,
+                info: e.info,
                 outcome,
             });
         }
-        // Drop any corruption marker for the sender's own slot.
-        self.corrupted.remove(&(tx, record.sender));
-        let _ = record.end;
-        deliveries
+        self.slots[slot].active = false;
+        self.free.push(slot as u32);
     }
 
     /// Medium-wide counters.
@@ -323,7 +449,7 @@ impl std::fmt::Debug for Medium {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Medium")
             .field("nodes", &self.positions.len())
-            .field("in_flight", &self.records.len())
+            .field("in_flight", &(self.slots.len() - self.free.len()))
             .field("stats", &self.stats)
             .finish()
     }
@@ -336,7 +462,13 @@ mod tests {
     fn line_medium(loss: f64) -> Medium {
         // Nodes at x = 0, 2, 4, ..., 18 on a line.
         let positions: Vec<Point> = (0..10).map(|i| Point::new(2.0 * i as f64, 0.0)).collect();
-        Medium::new(Field::new(20.0, 5.0), &positions, Channel::Disc, 20_000, loss)
+        Medium::new(
+            Field::new(20.0, 5.0),
+            &positions,
+            Channel::Disc,
+            20_000,
+            loss,
+        )
     }
 
     fn t(ms: u64) -> SimTime {
@@ -474,6 +606,50 @@ mod tests {
         let tx = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
         m.complete(tx.id);
         m.complete(tx.id);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already-completed")]
+    fn stale_id_for_reused_slot_panics() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        let tx_a = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        m.complete(tx_a.id);
+        // tx_b recycles tx_a's slot; the old handle must not resolve to it.
+        let tx_b = m.start_broadcast(tx_a.end, NodeId(0), 5.0, 25, &mut rng);
+        assert_eq!(tx_a.id.slot(), tx_b.id.slot());
+        assert_ne!(tx_a.id, tx_b.id);
+        m.complete(tx_a.id);
+    }
+
+    #[test]
+    fn slots_are_recycled_and_ids_stay_unique() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        let mut seen = std::collections::HashSet::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            let tx = m.start_broadcast(now, NodeId(0), 5.0, 25, &mut rng);
+            now = tx.end;
+            assert_eq!(tx.id.slot(), 0, "serial broadcasts must reuse slot 0");
+            assert!(seen.insert(tx.id), "TxId reused: {:?}", tx.id);
+            m.complete(tx.id);
+        }
+    }
+
+    #[test]
+    fn complete_into_reuses_the_buffer() {
+        let mut m = line_medium(0.0);
+        let mut rng = SimRng::new(1);
+        let mut buf = Vec::new();
+        let tx_a = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        m.complete_into(tx_a.id, &mut buf);
+        assert_eq!(buf.len(), 2);
+        let tx_b = m.start_broadcast(tx_a.end, NodeId(9), 3.0, 25, &mut rng);
+        m.complete_into(tx_b.id, &mut buf);
+        // Cleared and refilled, not appended.
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].receiver, NodeId(8));
     }
 
     #[test]

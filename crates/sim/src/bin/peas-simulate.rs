@@ -70,8 +70,9 @@ impl Args {
                 "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
                 "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
                 "--failure-rate" => {
-                    args.failure_rate =
-                        value("--failure-rate")?.parse().map_err(|e| format!("{e}"))?
+                    args.failure_rate = value("--failure-rate")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?
                 }
                 "--loss" => args.loss = value("--loss")?.parse().map_err(|e| format!("{e}"))?,
                 "--horizon" => {
@@ -86,8 +87,11 @@ impl Args {
                 }
                 "--no-grab" => args.grab = false,
                 "--fixed-power" => {
-                    args.fixed_power =
-                        Some(value("--fixed-power")?.parse().map_err(|e| format!("{e}"))?)
+                    args.fixed_power = Some(
+                        value("--fixed-power")?
+                            .parse()
+                            .map_err(|e| format!("{e}"))?,
+                    )
                 }
                 "--shadowed" => args.shadowed = true,
                 "--csv" => args.csv = Some(value("--csv")?),
@@ -157,11 +161,13 @@ fn main() -> ExitCode {
     let trace_buffer = std::rc::Rc::new(std::cell::RefCell::new(String::new()));
     if args.trace.is_some() {
         let buffer = std::rc::Rc::clone(&trace_buffer);
-        world.set_trace(move |t: peas_des::time::SimTime, e: &peas_sim::TraceEvent| {
-            let mut b = buffer.borrow_mut();
-            b.push_str(&e.to_csv_row(t));
-            b.push('\n');
-        });
+        world.set_trace(
+            move |t: peas_des::time::SimTime, e: &peas_sim::TraceEvent| {
+                let mut b = buffer.borrow_mut();
+                b.push_str(&e.to_csv_row(t));
+                b.push('\n');
+            },
+        );
     }
     let report = world.run();
     eprintln!("[peas-simulate] finished in {:.1?}", started.elapsed());
@@ -221,7 +227,10 @@ fn main() -> ExitCode {
                     eprintln!("error writing {path}: {e}");
                     return ExitCode::FAILURE;
                 }
-                eprintln!("[peas-simulate] wrote {} samples to {path}", report.samples.len());
+                eprintln!(
+                    "[peas-simulate] wrote {} samples to {path}",
+                    report.samples.len()
+                );
             }
             Err(e) => {
                 eprintln!("error creating {path}: {e}");

@@ -278,7 +278,9 @@ mod tests {
 
     #[test]
     fn builder_style_overrides() {
-        let c = ScenarioConfig::paper(160).with_seed(9).with_failure_rate(48.0);
+        let c = ScenarioConfig::paper(160)
+            .with_seed(9)
+            .with_failure_rate(48.0);
         assert_eq!(c.seed, 9);
         assert_eq!(c.failure.unwrap().rate_per_5000s, 48.0);
         let no_fail = ScenarioConfig::paper(160).with_failure_rate(0.0);

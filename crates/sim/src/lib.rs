@@ -38,6 +38,8 @@ pub mod world;
 
 pub use config::{BatterySpec, EventWorkload, FailureConfig, MetricsConfig, ScenarioConfig};
 pub use metrics::{RunReport, Sample};
-pub use runner::{average_metric, run_one, run_seeds, run_seeds_parallel, AveragedPoint};
+pub use runner::{
+    average_metric, run_configs_parallel, run_one, run_seeds, run_seeds_parallel, AveragedPoint,
+};
 pub use trace::{DeathKind, FrameKind, TraceCounts, TraceEvent, TraceSink};
 pub use world::World;

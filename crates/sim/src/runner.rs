@@ -24,24 +24,53 @@ pub fn run_seeds(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
         .collect()
 }
 
-/// Like [`run_seeds`], but runs the seeds on parallel OS threads. Each run
-/// is fully independent (its own world, RNG streams and medium), so the
-/// reports are identical to the serial version's — only wall time changes.
+/// Like [`run_seeds`], but distributes the seeds over a bounded pool of
+/// OS threads (see [`run_configs_parallel`]). Each run is fully independent
+/// (its own world, RNG streams and medium), so the reports are identical to
+/// the serial version's — only wall time changes.
 pub fn run_seeds_parallel(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
+    run_configs_parallel(
+        seeds
             .iter()
-            .map(|&seed| {
-                let cfg = config.clone().with_seed(seed);
-                scope.spawn(move || run_one(cfg))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation thread panicked"))
-            .collect()
-    })
+            .map(|&seed| config.clone().with_seed(seed))
+            .collect(),
+    )
+}
+
+/// Runs every scenario on a bounded worker pool, returning the reports in
+/// input order.
+///
+/// At most [`std::thread::available_parallelism`] worker threads are
+/// spawned, however many jobs there are; workers pull the next un-started
+/// job from a shared counter, so a slow run never leaves cores idle while
+/// work remains. With a single core (or a single job) the jobs simply run
+/// on the caller's thread.
+pub fn run_configs_parallel(configs: Vec<ScenarioConfig>) -> Vec<RunReport> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(configs.len());
+    if workers <= 1 {
+        return configs.into_iter().map(run_one).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::OnceLock<RunReport>> = (0..configs.len())
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(config) = configs.get(i) else { break };
+                let filled = slots[i].set(run_one(config.clone()));
+                debug_assert!(filled.is_ok(), "job {i} claimed twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker pool dropped a job"))
+        .collect()
 }
 
 /// One averaged figure point.
@@ -111,6 +140,16 @@ mod tests {
     #[should_panic(expected = "at least one seed")]
     fn empty_seed_list_rejected() {
         let _ = run_seeds(&tiny(), &[]);
+    }
+
+    #[test]
+    fn bounded_pool_preserves_job_order_with_more_jobs_than_cores() {
+        let configs: Vec<ScenarioConfig> = (1..=9).map(|seed| tiny().with_seed(seed)).collect();
+        let reports = run_configs_parallel(configs);
+        assert_eq!(reports.len(), 9);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.seed, i as u64 + 1);
+        }
     }
 
     #[test]

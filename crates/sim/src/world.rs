@@ -20,8 +20,6 @@
 //!   `ProtocolRx`/`AppRx` (reception draw equals idle draw on Motes, so the
 //!   total is unchanged — only the attribution moves).
 
-use std::collections::HashMap;
-
 use peas::{
     Action as PeasAction, Input as PeasInput, Message as PeasMessage, Mode, PeasNode,
     Timer as PeasTimer,
@@ -29,7 +27,7 @@ use peas::{
 use peas_des::prelude::*;
 use peas_geom::{CoverageGrid, Point};
 use peas_grab::{GrabMessage, GrabRelay, GrabSink, GrabSource};
-use peas_radio::{Battery, EnergyCause, EnergyLedger, Medium, NodeId, RxInfo, TxId};
+use peas_radio::{Battery, Delivery, EnergyCause, EnergyLedger, Medium, NodeId, RxInfo, TxId};
 
 use crate::config::ScenarioConfig;
 use crate::metrics::{RunReport, Sample};
@@ -42,6 +40,28 @@ use crate::trace::{DeathKind as TraceDeathKind, FrameKind, TraceEvent, TraceSink
 const BOOT_ADV_SECS: [u64; 3] = [10, 30, 60];
 /// Carrier-sense retries before transmitting regardless.
 const MAX_SEND_ATTEMPTS: u8 = 6;
+/// `working_slot` sentinel: the sensor is not in the working set.
+const NOT_WORKING: u32 = u32::MAX;
+
+/// Dense index for per-mode censuses (`census[mode_rank(m)]`).
+fn mode_rank(mode: Mode) -> usize {
+    match mode {
+        Mode::Working => 0,
+        Mode::Probing => 1,
+        Mode::Sleeping => 2,
+        Mode::Dead => 3,
+    }
+}
+
+/// Dense index for the per-sensor timer table.
+fn timer_index(timer: PeasTimer) -> usize {
+    match timer {
+        PeasTimer::Wake => 0,
+        PeasTimer::ProbeSend => 1,
+        PeasTimer::ReplyWindow => 2,
+        PeasTimer::ReplyBackoff => 3,
+    }
+}
 
 #[derive(Clone, Copy, Debug)]
 enum Payload {
@@ -81,7 +101,8 @@ struct SensorRt {
     battery: Battery,
     ledger: EnergyLedger,
     rng: SimRng,
-    timers: HashMap<PeasTimer, Vec<EventId>>,
+    /// Pending timer events, indexed by [`timer_index`].
+    timers: [Vec<EventId>; 4],
     alive: bool,
     /// Start of the not-yet-accounted baseline interval.
     last_account: SimTime,
@@ -113,8 +134,28 @@ pub struct World {
     source_idx: usize,
     sink_idx: usize,
     infra_tx_busy: [SimTime; 2],
-    in_flight: HashMap<TxId, (u32, Payload)>,
+    /// In-flight transmissions indexed by [`TxId::slot`].
+    in_flight: Vec<Option<(TxId, u32, Payload)>>,
+    /// Reused delivery buffer for [`Medium::complete_into`].
+    deliveries_buf: Vec<Delivery>,
     coverage: CoverageGrid,
+    /// Per-sample-point working-node counts, maintained incrementally by
+    /// rasterizing one disc per Working transition (exactly what a full
+    /// rasterization of the current working set would produce).
+    cov_counts: Vec<u32>,
+    /// Scratch buffer for the debug-build full-rasterization cross-check.
+    #[cfg(debug_assertions)]
+    coverage_buf: Vec<u32>,
+    /// Alive Working sensors (arbitrary order, swap-removed on exit) and
+    /// their positions, maintained incrementally on mode transitions.
+    working_nodes: Vec<u32>,
+    working_pos: Vec<Point>,
+    /// Per sensor: its index in `working_nodes`, or [`NOT_WORKING`].
+    working_slot: Vec<u32>,
+    /// Alive sensors per mode, indexed by [`mode_rank`].
+    census: [usize; 4],
+    /// Sum of every sensor's wakeup counter, maintained incrementally.
+    total_wakeups: u64,
     samples: Vec<Sample>,
     failures_injected: u64,
     energy_deaths: u64,
@@ -148,9 +189,10 @@ impl World {
         let misc_rng = SimRng::stream(seed, 3);
         let mut battery_rng = SimRng::stream(seed, 4);
 
-        let mut positions = config
-            .deployment
-            .generate(config.field, config.node_count, &mut deploy_rng);
+        let mut positions =
+            config
+                .deployment
+                .generate(config.field, config.node_count, &mut deploy_rng);
         // Infrastructure: source and sink at opposite corners (Section 5.2),
         // nudged inside the field so they sit on the medium's grid.
         let (source_idx, sink_idx) = if config.grab.is_some() {
@@ -181,7 +223,7 @@ impl World {
                 battery: Battery::new(config.battery.draw(&mut battery_rng)),
                 ledger: EnergyLedger::new(),
                 rng: SimRng::stream(seed, 100 + i as u64),
-                timers: HashMap::new(),
+                timers: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
                 alive: true,
                 last_account: SimTime::ZERO,
                 baseline_paid_until: SimTime::ZERO,
@@ -197,7 +239,7 @@ impl World {
                             timer,
                         },
                     );
-                    rt.timers.entry(timer).or_default().push(id);
+                    rt.timers[timer_index(timer)].push(id);
                 }
             }
             sensors.push(rt);
@@ -210,29 +252,56 @@ impl World {
                 }
                 sim.schedule_after(grab_cfg.report_period, Event::SourceReport);
                 (
-                    Some(GrabSource::new(
-                        NodeId(source_idx as u32),
-                        grab_cfg.clone(),
-                    )),
+                    Some(GrabSource::new(NodeId(source_idx as u32), grab_cfg.clone())),
                     Some(GrabSink::new()),
                 )
             }
             None => (None, None),
         };
 
+        let mut census = [0usize; 4];
+        let mut working_nodes = Vec::new();
+        let mut working_pos = Vec::new();
+        let mut working_slot = vec![NOT_WORKING; config.node_count];
+        for (i, s) in sensors.iter().enumerate() {
+            let mode = if s.alive { s.peas.mode() } else { Mode::Dead };
+            census[mode_rank(mode)] += 1;
+            if s.alive && mode == Mode::Working {
+                working_slot[i] = working_nodes.len() as u32;
+                working_nodes.push(i as u32);
+                working_pos.push(positions[i]);
+            }
+        }
+        let total_wakeups = sensors.iter().map(|s| s.peas.stats().wakeups).sum();
+
+        let coverage = CoverageGrid::new(config.field, config.metrics.coverage_resolution);
+        let mut cov_counts = vec![0u32; coverage.sample_count()];
+        for &p in &working_pos {
+            coverage.add_disc(p, config.sensing_range, &mut cov_counts);
+        }
+
         let mut world = World {
-            coverage: CoverageGrid::new(config.field, config.metrics.coverage_resolution),
+            coverage,
+            cov_counts,
             alive_sensors: config.node_count,
             sim,
             medium,
             positions,
             sensors,
+            working_nodes,
+            working_pos,
+            working_slot,
+            census,
+            total_wakeups,
             source,
             sink,
             source_idx,
             sink_idx,
             infra_tx_busy: [SimTime::ZERO; 2],
-            in_flight: HashMap::new(),
+            in_flight: Vec::new(),
+            deliveries_buf: Vec::new(),
+            #[cfg(debug_assertions)]
+            coverage_buf: Vec::new(),
             samples: Vec::new(),
             failures_injected: 0,
             energy_deaths: 0,
@@ -379,9 +448,8 @@ impl World {
     /// what a REPLY sent right now would carry.
     pub fn worker_estimates(&self) -> Vec<Option<f64>> {
         let now = self.sim.now();
-        let min_elapsed = peas_des::time::SimDuration::from_secs_f64(
-            1.0 / self.cfg.peas.desired_rate,
-        );
+        let min_elapsed =
+            peas_des::time::SimDuration::from_secs_f64(1.0 / self.cfg.peas.desired_rate);
         self.sensors
             .iter()
             .filter(|s| s.alive && s.peas.mode() == Mode::Working)
@@ -457,6 +525,7 @@ impl World {
             events_detected: self.event_stats.1,
             events_delivered: self.events_delivered,
             end_secs: now.as_secs_f64(),
+            events_processed: self.sim.processed(),
         }
     }
 
@@ -480,8 +549,9 @@ impl World {
 
     fn on_node_timer(&mut self, now: SimTime, fired_id: EventId, node: u32, timer: PeasTimer) {
         let idx = node as usize;
-        if let Some(ids) = self.sensors[idx].timers.get_mut(&timer) {
-            ids.retain(|&id| id != fired_id);
+        let ids = &mut self.sensors[idx].timers[timer_index(timer)];
+        if let Some(pos) = ids.iter().position(|&id| id == fired_id) {
+            ids.swap_remove(pos);
         }
         if !self.sensors[idx].alive {
             return;
@@ -504,14 +574,17 @@ impl World {
     fn drive_peas(&mut self, now: SimTime, idx: usize, input: PeasInput) {
         let mode_before = self.sensors[idx].peas.mode();
         let was_working = mode_before == Mode::Working;
+        let wakeups_before = self.sensors[idx].peas.stats().wakeups;
         let actions = {
             let s = &mut self.sensors[idx];
             // Split borrows: PeasNode and SimRng are separate fields.
             let SensorRt { peas, rng, .. } = s;
             peas.on_input(now, input, rng)
         };
+        self.total_wakeups += self.sensors[idx].peas.stats().wakeups - wakeups_before;
         let mode_after = self.sensors[idx].peas.mode();
         if mode_after != mode_before {
+            self.on_mode_transition(idx, mode_before, mode_after);
             self.emit(
                 now,
                 TraceEvent::ModeChange {
@@ -543,14 +616,15 @@ impl World {
                             timer,
                         },
                     );
-                    self.sensors[idx].timers.entry(timer).or_default().push(id);
+                    self.sensors[idx].timers[timer_index(timer)].push(id);
                 }
                 PeasAction::Cancel(timer) => {
-                    if let Some(ids) = self.sensors[idx].timers.remove(&timer) {
-                        for id in ids {
-                            self.sim.cancel(id);
-                        }
+                    let mut ids = std::mem::take(&mut self.sensors[idx].timers[timer_index(timer)]);
+                    for id in ids.drain(..) {
+                        self.sim.cancel(id);
                     }
+                    // Hand the allocation back for reuse.
+                    self.sensors[idx].timers[timer_index(timer)] = ids;
                 }
                 PeasAction::Broadcast { msg, range } => {
                     self.try_send(now, idx, Payload::Peas(msg), range, 0);
@@ -645,9 +719,9 @@ impl World {
                 range,
             },
         );
-        let tx = self
-            .medium
-            .start_broadcast(now, NodeId(idx as u32), range, size, &mut self.misc_rng);
+        let tx =
+            self.medium
+                .start_broadcast(now, NodeId(idx as u32), range, size, &mut self.misc_rng);
         if is_infra {
             let slot = if idx == self.source_idx { 0 } else { 1 };
             self.infra_tx_busy[slot] = tx.end;
@@ -659,12 +733,9 @@ impl World {
             };
             let s = &mut self.sensors[idx];
             if s.alive {
-                let alive = s.battery.drain_timed(
-                    self.cfg.power.tx_mw,
-                    tx.airtime,
-                    cause,
-                    &mut s.ledger,
-                );
+                let alive =
+                    s.battery
+                        .drain_timed(self.cfg.power.tx_mw, tx.airtime, cause, &mut s.ledger);
                 s.baseline_paid_until = tx.end;
                 s.tx_busy_until = tx.end;
                 if !alive {
@@ -672,24 +743,37 @@ impl World {
                 }
             }
         }
-        self.in_flight.insert(tx.id, (idx as u32, payload));
+        let slot = tx.id.slot();
+        if slot >= self.in_flight.len() {
+            self.in_flight.resize(slot + 1, None);
+        }
+        self.in_flight[slot] = Some((tx.id, idx as u32, payload));
         self.sim.schedule_at(tx.end, Event::TxDone { tx: tx.id });
     }
 
     fn on_tx_done(&mut self, now: SimTime, tx: TxId) {
-        let (sender, payload) = self
-            .in_flight
-            .remove(&tx)
+        let (id, sender, payload) = self.in_flight[tx.slot()]
+            .take()
             .expect("TxDone for unknown transmission");
-        let deliveries = self.medium.complete(tx);
-        for d in deliveries {
+        assert_eq!(id, tx, "TxDone for unknown transmission");
+        let mut deliveries = std::mem::take(&mut self.deliveries_buf);
+        self.medium.complete_into(tx, &mut deliveries);
+        for d in &deliveries {
             if d.is_ok() {
                 self.dispatch_rx(now, d.receiver.index(), sender, payload, d.info);
             }
         }
+        self.deliveries_buf = deliveries;
     }
 
-    fn dispatch_rx(&mut self, now: SimTime, rx: usize, sender: u32, payload: Payload, info: RxInfo) {
+    fn dispatch_rx(
+        &mut self,
+        now: SimTime,
+        rx: usize,
+        sender: u32,
+        payload: Payload,
+        info: RxInfo,
+    ) {
         if rx == self.sink_idx {
             if let Payload::Grab(GrabMessage::Report(report)) = payload {
                 if let Some(sink) = self.sink.as_mut() {
@@ -783,11 +867,18 @@ impl World {
             return;
         };
         let msg = self.sink.as_mut().expect("sink exists").next_adv();
-        self.try_send(now, self.sink_idx, Payload::Grab(msg), grab_cfg.data_range, 0);
+        self.try_send(
+            now,
+            self.sink_idx,
+            Payload::Grab(msg),
+            grab_cfg.data_range,
+            0,
+        );
         // Chain the periodic refresh only from the last boot flood, so the
         // boot burst doesn't multiply into parallel flood chains.
         if now >= SimTime::from_secs(BOOT_ADV_SECS[BOOT_ADV_SECS.len() - 1]) {
-            self.sim.schedule_at(now + grab_cfg.adv_period, Event::SinkAdv);
+            self.sim
+                .schedule_at(now + grab_cfg.adv_period, Event::SinkAdv);
         }
     }
 
@@ -814,11 +905,12 @@ impl World {
         if self.alive_sensors > 0 {
             // Uniform among alive sensors (failures strike any mode —
             // Section 5.2: "failures are deaths not incurred by energy
-            // depletions").
-            let alive: Vec<usize> = (0..self.sensors.len())
+            // depletions"): pick the k-th alive sensor in index order.
+            let k = self.failure_rng.index(self.alive_sensors);
+            let victim = (0..self.sensors.len())
                 .filter(|&i| self.sensors[i].alive)
-                .collect();
-            let victim = alive[self.failure_rng.index(alive.len())];
+                .nth(k)
+                .expect("alive_sensors count out of sync");
             self.account(victim, now);
             if self.sensors[victim].alive {
                 self.kill(now, victim, DeathCause::Failure);
@@ -841,11 +933,9 @@ impl World {
         self.event_stats.2 += 1;
 
         let detector = self
-            .sensors
+            .working_nodes
             .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive && s.peas.mode() == Mode::Working)
-            .map(|(i, _)| (i, self.positions[i].distance_squared(pos)))
+            .map(|&i| (i as usize, self.positions[i as usize].distance_squared(pos)))
             .filter(|&(_, d2)| d2 <= self.cfg.sensing_range * self.cfg.sensing_range)
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i);
@@ -884,26 +974,55 @@ impl World {
                 self.account(i, now);
             }
         }
-        let working: Vec<Point> = self.working_positions();
-        let coverage =
-            self.coverage
-                .k_coverages(&working, self.cfg.sensing_range, self.cfg.metrics.max_k);
-        let (working_n, _probing, sleeping, _dead) = self.mode_census();
+        debug_assert_eq!(
+            (
+                self.working_nodes.len(),
+                self.census[1],
+                self.census[2],
+                self.census[3]
+            ),
+            self.mode_census(),
+            "incremental census out of sync with a full scan"
+        );
+        debug_assert_eq!(
+            self.total_wakeups,
+            self.sensors
+                .iter()
+                .map(|s| s.peas.stats().wakeups)
+                .sum::<u64>(),
+            "incremental wakeup total out of sync"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let mut fresh = std::mem::take(&mut self.coverage_buf);
+            self.coverage.coverage_counts_into(
+                &self.working_pos,
+                self.cfg.sensing_range,
+                &mut fresh,
+            );
+            debug_assert_eq!(
+                fresh, self.cov_counts,
+                "incremental coverage counts out of sync with a full rasterization"
+            );
+            self.coverage_buf = fresh;
+        }
+        let coverage = self
+            .coverage
+            .k_coverages_from_counts(&self.cov_counts, self.cfg.metrics.max_k);
         let delivery_ratio = match (&self.source, &self.sink) {
             (Some(src), Some(snk)) if src.generated() > 0 => {
                 Some(snk.delivered_count() as f64 / src.generated() as f64)
             }
             _ => None,
         };
-        let total_wakeups = self.sensors.iter().map(|s| s.peas.stats().wakeups).sum();
         self.samples.push(Sample {
             t_secs: now.as_secs_f64(),
             coverage,
-            working: working_n,
-            sleeping,
+            working: self.working_nodes.len(),
+            sleeping: self.census[mode_rank(Mode::Sleeping)],
             alive: self.alive_sensors,
             delivery_ratio,
-            total_wakeups,
+            total_wakeups: self.total_wakeups,
         });
         if self.alive_sensors == 0 {
             self.finished = true;
@@ -944,10 +1063,48 @@ impl World {
         }
     }
 
+    /// Keeps the incremental working set and mode census in step with one
+    /// sensor's `from -> to` transition (only these two sites change a
+    /// sensor's mode: [`World::drive_peas`] and [`World::kill`]).
+    fn on_mode_transition(&mut self, idx: usize, from: Mode, to: Mode) {
+        if from == to {
+            return;
+        }
+        self.census[mode_rank(from)] -= 1;
+        self.census[mode_rank(to)] += 1;
+        if from == Mode::Working {
+            let slot = self.working_slot[idx] as usize;
+            self.working_nodes.swap_remove(slot);
+            self.working_pos.swap_remove(slot);
+            self.working_slot[idx] = NOT_WORKING;
+            if slot < self.working_nodes.len() {
+                let moved = self.working_nodes[slot] as usize;
+                self.working_slot[moved] = slot as u32;
+            }
+            self.coverage.remove_disc(
+                self.positions[idx],
+                self.cfg.sensing_range,
+                &mut self.cov_counts,
+            );
+        }
+        if to == Mode::Working {
+            self.working_slot[idx] = self.working_nodes.len() as u32;
+            self.working_nodes.push(idx as u32);
+            self.working_pos.push(self.positions[idx]);
+            self.coverage.add_disc(
+                self.positions[idx],
+                self.cfg.sensing_range,
+                &mut self.cov_counts,
+            );
+        }
+    }
+
     fn kill(&mut self, now: SimTime, idx: usize, cause: DeathCause) {
         if !self.sensors[idx].alive {
             return;
         }
+        let mode = self.sensors[idx].peas.mode();
+        self.on_mode_transition(idx, mode, Mode::Dead);
         self.emit(
             now,
             TraceEvent::Death {
@@ -966,8 +1123,8 @@ impl World {
             DeathCause::Energy => self.energy_deaths += 1,
         }
         s.peas.kill();
-        for (_, ids) in s.timers.drain() {
-            for id in ids {
+        for ids in &mut s.timers {
+            for id in ids.drain(..) {
                 self.sim.cancel(id);
             }
         }
@@ -1122,7 +1279,11 @@ mod tests {
         c.failure = None;
         c.horizon = SimTime::from_secs(900);
         let report = World::new(c).run();
-        assert!(report.generated_reports >= 80, "{}", report.generated_reports);
+        assert!(
+            report.generated_reports >= 80,
+            "{}",
+            report.generated_reports
+        );
         let ratio = report.final_delivery_ratio().unwrap();
         assert!(
             ratio > 0.8,
@@ -1151,7 +1312,10 @@ mod tests {
         let art = world.render_ascii(40);
         assert!(art.contains('#'), "no working nodes drawn:\n{art}");
         assert!(art.contains('.'), "no sleeping nodes drawn:\n{art}");
-        assert!(art.contains('S') && art.contains('K'), "infra missing:\n{art}");
+        assert!(
+            art.contains('S') && art.contains('K'),
+            "infra missing:\n{art}"
+        );
         // Framed: first and last lines are borders of the right width.
         let first = art.lines().next().unwrap();
         assert_eq!(first.len(), 42);
@@ -1162,7 +1326,9 @@ mod tests {
     fn event_workload_counts_are_consistent() {
         let mut c = ScenarioConfig::paper(200).with_seed(8);
         c.failure = None;
-        c.events = Some(crate::config::EventWorkload { rate_per_100s: 40.0 });
+        c.events = Some(crate::config::EventWorkload {
+            rate_per_100s: 40.0,
+        });
         c.horizon = SimTime::from_secs(800);
         let report = World::new(c).run();
         assert!(report.events_total > 100, "{}", report.events_total);

@@ -8,12 +8,12 @@ use peas_sim::{run_one, BatterySpec, FailureConfig, ScenarioConfig};
 
 fn arb_scenario() -> impl Strategy<Value = ScenarioConfig> {
     (
-        10usize..60,          // node_count
-        any::<u64>(),         // seed
-        0.0f64..0.2,          // loss rate
+        10usize..60,                      // node_count
+        any::<u64>(),                     // seed
+        0.0f64..0.2,                      // loss rate
         prop::option::of(10.0f64..200.0), // failure rate (scaled high for short runs)
-        prop::bool::ANY,      // grab on/off
-        2.0f64..10.0,         // battery joules
+        prop::bool::ANY,                  // grab on/off
+        2.0f64..10.0,                     // battery joules
     )
         .prop_map(|(n, seed, loss, failure, grab, battery)| {
             let mut c = ScenarioConfig::small().with_seed(seed);

@@ -67,7 +67,9 @@ fn main() {
 
     let mut world = World::new(config);
     let mut animal_rng = SimRng::stream(999, 0);
-    let mut animals: Vec<Animal> = (0..5).map(|_| Animal::new(&mut animal_rng, width, height)).collect();
+    let mut animals: Vec<Animal> = (0..5)
+        .map(|_| Animal::new(&mut animal_rng, width, height))
+        .collect();
 
     // Step the world and the animals together; an animal is "detected"
     // when some working sensor has it in sensing range.
@@ -93,7 +95,13 @@ fn main() {
             }
         }
         if (t as u64).is_multiple_of(1500) {
-            println!("{:>8.0}  {:>8}  {:>6}/{}", t, working.len(), detected_now, animals.len());
+            println!(
+                "{:>8.0}  {:>8}  {:>6}/{}",
+                t,
+                working.len(),
+                detected_now,
+                animals.len()
+            );
         }
         if !alive || t > 20_000.0 {
             break;

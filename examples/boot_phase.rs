@@ -34,12 +34,12 @@ fn main() {
     println!("\nworking-set acquisition (N = 320, no failures):");
     println!(
         "{:>8}  {:>16}  {:>16}",
-        "t (s)",
-        "lambda0 = 0.012",
-        "lambda0 = 0.1"
+        "t (s)", "lambda0 = 0.012", "lambda0 = 0.1"
     );
     let run_boot = |initial_rate: f64| {
-        let mut config = ScenarioConfig::paper(320).with_failure_rate(0.0).with_seed(11);
+        let mut config = ScenarioConfig::paper(320)
+            .with_failure_rate(0.0)
+            .with_seed(11);
         config.grab = None;
         config.peas = PeasConfig::builder().initial_rate(initial_rate).build();
         config.horizon = SimTime::from_secs(400);

@@ -24,7 +24,9 @@ fn main() {
     let mut sync_base = None;
     for rate in [5.33, 16.0, 26.66, 37.33, 48.0] {
         // PEAS under the full packet-level simulator.
-        let mut config = ScenarioConfig::paper(n).with_failure_rate(rate).with_seed(3);
+        let mut config = ScenarioConfig::paper(n)
+            .with_failure_rate(rate)
+            .with_seed(3);
         config.grab = None;
         let report = run_one(config);
         let peas_life = report.coverage_lifetime(4, 0.9);

@@ -50,7 +50,10 @@ fn main() {
     );
 
     println!("\n--- working-set timeline ---");
-    println!("{:>8}  {:>8}  {:>8}  {:>8}  {:>6}", "t (s)", "working", "sleeping", "alive", "cov4");
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>8}  {:>6}",
+        "t (s)", "working", "sleeping", "alive", "cov4"
+    );
     for sample in report.samples.iter().step_by(20) {
         println!(
             "{:>8.0}  {:>8}  {:>8}  {:>8}  {:>5.1}%",

@@ -96,7 +96,9 @@ fn grab_delivers_through_the_working_set() {
 #[test]
 fn working_sets_satisfy_section_3_connectivity() {
     for seed in [1u64, 2, 3] {
-        let mut config = ScenarioConfig::paper(320).with_seed(seed).with_failure_rate(0.0);
+        let mut config = ScenarioConfig::paper(320)
+            .with_seed(seed)
+            .with_failure_rate(0.0);
         config.grab = None;
         config.horizon = SimTime::from_secs(1_200);
         let mut world = World::new(config.clone());
@@ -113,7 +115,10 @@ fn working_sets_satisfy_section_3_connectivity() {
         // Rt = 10 m > (1+sqrt5)*3 m: Theorem 3.1's premise holds; the
         // working graph must be connected at the radio range.
         let connected_at_rt = check.connected_at.first().map(|&(_, c)| c).unwrap_or(false);
-        assert!(connected_at_rt, "seed {seed}: working set disconnected at 10 m");
+        assert!(
+            connected_at_rt,
+            "seed {seed}: working set disconnected at 10 m"
+        );
     }
 }
 
@@ -136,7 +141,9 @@ fn energy_ledger_balances_battery_drain() {
 fn adaptive_sleeping_regulates_wakeups() {
     // With adaptation on, the perceived aggregate rate should come down
     // from the boot rate toward lambda_d's order of magnitude.
-    let mut c = ScenarioConfig::paper(240).with_seed(31).with_failure_rate(0.0);
+    let mut c = ScenarioConfig::paper(240)
+        .with_seed(31)
+        .with_failure_rate(0.0);
     c.grab = None;
     c.horizon = SimTime::from_secs(3_000);
     let report = run_one(c);
@@ -165,7 +172,10 @@ fn explicit_deployments_flow_through_the_whole_stack() {
     world.run_until(SimTime::from_secs(400));
     // All nine are pairwise > Rp = 3 m apart, so all must end up working.
     let (working, _, sleeping, dead) = world.mode_census();
-    assert_eq!(working, 9, "working {working}, sleeping {sleeping}, dead {dead}");
+    assert_eq!(
+        working, 9,
+        "working {working}, sleeping {sleeping}, dead {dead}"
+    );
 }
 
 #[test]
@@ -205,7 +215,9 @@ fn event_workload_detects_and_delivers() {
     use peas_repro::simulation::EventWorkload;
     let mut c = ScenarioConfig::paper(320).with_seed(41);
     c.failure = None;
-    c.events = Some(EventWorkload { rate_per_100s: 50.0 });
+    c.events = Some(EventWorkload {
+        rate_per_100s: 50.0,
+    });
     c.horizon = SimTime::from_secs(1_500);
     let report = run_one(c);
     assert!(report.events_total > 300, "events {}", report.events_total);
@@ -242,7 +254,9 @@ fn combined_stress_loss_shadowing_failures() {
     // Everything hostile at once: 15% loss, shadowed channel, heavy
     // failures, fixed transmission power. The network must still elect and
     // sustain a working set with real coverage.
-    let mut c = ScenarioConfig::paper(320).with_seed(55).with_failure_rate(40.0);
+    let mut c = ScenarioConfig::paper(320)
+        .with_seed(55)
+        .with_failure_rate(40.0);
     c.loss_rate = 0.15;
     c.channel = Channel::shadowed(55);
     c.peas = PeasConfig::builder().fixed_power(10.0).build();
