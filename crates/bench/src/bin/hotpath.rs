@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //!   hotpath [--nodes N] [--horizon-secs S] [--seeds a,b,c]
-//!           [--reps N] [--out PATH] [--baseline PATH]
+//!           [--reps N] [--out PATH] [--baseline PATH] [--label TEXT]
 //!
 //! `--baseline` points at a previous run's JSON; the new file then records
 //! the speedup against it, so before/after comparisons use the same binary
@@ -24,6 +24,7 @@ struct Args {
     reps: u32,
     out: String,
     baseline: Option<String>,
+    label: Option<String>,
 }
 
 impl Args {
@@ -35,6 +36,7 @@ impl Args {
             reps: 3,
             out: "BENCH_hotpath.json".to_string(),
             baseline: None,
+            label: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -56,6 +58,7 @@ impl Args {
                 "--reps" => args.reps = value("--reps").parse().expect("bad --reps"),
                 "--out" => args.out = value("--out"),
                 "--baseline" => args.baseline = Some(value("--baseline")),
+                "--label" => args.label = Some(value("--label")),
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -97,23 +100,29 @@ fn main() {
 
     let mut total_events: u64 = 0;
     let mut total_wakeups: u64 = 0;
+    let mut total_frames: u64 = 0;
     let mut wall = f64::INFINITY;
     for rep in 0..args.reps {
         let mut rep_events: u64 = 0;
         let mut rep_wakeups: u64 = 0;
+        let mut rep_frames: u64 = 0;
         let start = Instant::now();
         for &seed in &args.seeds {
             let report = run_one(config(seed));
             rep_events += report.events_processed;
             rep_wakeups += report.total_wakeups();
+            rep_frames += report.medium.frames_sent;
         }
         wall = wall.min(start.elapsed().as_secs_f64());
         if rep == 0 {
-            (total_events, total_wakeups) = (rep_events, rep_wakeups);
+            (total_events, total_wakeups, total_frames) = (rep_events, rep_wakeups, rep_frames);
         } else {
             // Determinism check for free: every repetition replays the
             // identical event stream.
-            assert_eq!((rep_events, rep_wakeups), (total_events, total_wakeups));
+            assert_eq!(
+                (rep_events, rep_wakeups, rep_frames),
+                (total_events, total_wakeups, total_frames)
+            );
         }
     }
     let events_per_sec = total_events as f64 / wall;
@@ -121,6 +130,13 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    if let Some(label) = &args.label {
+        assert!(
+            !label.contains(['"', '\\']),
+            "label must not contain quotes or backslashes"
+        );
+        json.push_str(&format!("  \"label\": \"{label}\",\n"));
+    }
     json.push_str(&format!("  \"nodes\": {},\n", args.nodes));
     json.push_str(&format!("  \"horizon_secs\": {},\n", args.horizon_secs));
     json.push_str(&format!(
@@ -134,6 +150,7 @@ fn main() {
     json.push_str(&format!("  \"wall_secs\": {wall:.3},\n"));
     json.push_str(&format!("  \"events_processed\": {total_events},\n"));
     json.push_str(&format!("  \"total_wakeups\": {total_wakeups},\n"));
+    json.push_str(&format!("  \"frames_sent\": {total_frames},\n"));
     match rss {
         Some(bytes) => json.push_str(&format!("  \"peak_rss_bytes\": {bytes},\n")),
         None => json.push_str("  \"peak_rss_bytes\": null,\n"),

@@ -27,6 +27,12 @@ pub struct CoverageGrid {
     resolution: f64,
     cols: usize,
     rows: usize,
+    /// Cell-center x coordinate per column (structure-of-arrays): the flat
+    /// kernels and the CSR builder read the same table, so their membership
+    /// predicates are evaluated on bitwise-identical coordinates.
+    xs: Vec<f64>,
+    /// Cell-center y coordinate per row.
+    ys: Vec<f64>,
 }
 
 impl CoverageGrid {
@@ -44,11 +50,15 @@ impl CoverageGrid {
         );
         let cols = (field.width() / resolution).ceil().max(1.0) as usize;
         let rows = (field.height() / resolution).ceil().max(1.0) as usize;
+        let xs = (0..cols).map(|i| (i as f64 + 0.5) * resolution).collect();
+        let ys = (0..rows).map(|j| (j as f64 + 0.5) * resolution).collect();
         CoverageGrid {
             field,
             resolution,
             cols,
             rows,
+            xs,
+            ys,
         }
     }
 
@@ -75,6 +85,14 @@ impl CoverageGrid {
     /// Like [`CoverageGrid::coverage_counts`], writing into a caller-owned
     /// buffer (cleared and resized first) so periodic measurements can reuse
     /// one allocation.
+    ///
+    /// Implemented as a chunked flat kernel (chunk = one lattice row): the
+    /// working positions are split into structure-of-arrays x/y once, then
+    /// each row accumulates branch-free squared-distance compares over the
+    /// discs overlapping it — a shape the autovectorizer handles — instead
+    /// of rasterizing one disc at a time. Produces exactly the counts the
+    /// incremental [`CoverageGrid::add_disc`] path maintains (both evaluate
+    /// the same predicate on the same precomputed cell centers).
     pub fn coverage_counts_into(
         &self,
         working: &[Point],
@@ -83,8 +101,29 @@ impl CoverageGrid {
     ) {
         counts.clear();
         counts.resize(self.sample_count(), 0);
-        for &w in working {
-            self.add_disc(w, sensing_range, counts);
+        let r2 = sensing_range * sensing_range;
+        // Structure-of-arrays split of the working set.
+        let wx: Vec<f64> = working.iter().map(|w| w.x).collect();
+        let wy: Vec<f64> = working.iter().map(|w| w.y).collect();
+        let spans: Vec<(usize, usize)> = working
+            .iter()
+            .map(|w| self.col_span(w.x, sensing_range))
+            .collect();
+        for (j, &y) in self.ys.iter().enumerate() {
+            let row = &mut counts[j * self.cols..(j + 1) * self.cols];
+            for k in 0..wx.len() {
+                let dy = y - wy[k];
+                let dy2 = dy * dy;
+                if dy2 > r2 {
+                    continue;
+                }
+                let (lo_i, hi_i) = spans[k];
+                let x0 = wx[k];
+                for (c, &x) in row[lo_i..=hi_i].iter_mut().zip(&self.xs[lo_i..=hi_i]) {
+                    let dx = x - x0;
+                    *c += u32::from(dx * dx + dy2 <= r2);
+                }
+            }
         }
     }
 
@@ -101,7 +140,7 @@ impl CoverageGrid {
     ///
     /// Panics if `counts.len() != self.sample_count()`.
     pub fn add_disc(&self, w: Point, sensing_range: f64, counts: &mut [u32]) {
-        self.disc_cells(w, sensing_range, counts, |c| *c += 1);
+        self.disc_cells(w, sensing_range, counts, |c, m| *c += m);
     }
 
     /// Reverses one [`CoverageGrid::add_disc`] for a node that stopped
@@ -112,7 +151,25 @@ impl CoverageGrid {
     /// Panics if `counts.len() != self.sample_count()`, or (in debug builds,
     /// via overflow checks) if the disc was never added.
     pub fn remove_disc(&self, w: Point, sensing_range: f64, counts: &mut [u32]) {
-        self.disc_cells(w, sensing_range, counts, |c| *c -= 1);
+        self.disc_cells(w, sensing_range, counts, |c, m| *c -= m);
+    }
+
+    /// Columns whose centers can fall inside a disc of `range` around `x`
+    /// (a clamped bounding box; the squared-distance predicate decides
+    /// actual membership).
+    fn col_span(&self, x: f64, range: f64) -> (usize, usize) {
+        let lo = (((x - range) / self.resolution - 0.5).floor()).max(0.0) as usize;
+        let hi =
+            ((((x + range) / self.resolution) as usize).max(lo)).min(self.cols.saturating_sub(1));
+        (lo, hi)
+    }
+
+    /// Rows whose centers can fall inside a disc of `range` around `y`.
+    fn row_span(&self, y: f64, range: f64) -> (usize, usize) {
+        let lo = (((y - range) / self.resolution - 0.5).floor()).max(0.0) as usize;
+        let hi =
+            ((((y + range) / self.resolution) as usize).max(lo)).min(self.rows.saturating_sub(1));
+        (lo, hi)
     }
 
     fn disc_cells(
@@ -120,7 +177,7 @@ impl CoverageGrid {
         w: Point,
         sensing_range: f64,
         counts: &mut [u32],
-        mut apply: impl FnMut(&mut u32),
+        mut apply: impl FnMut(&mut u32, u32),
     ) {
         assert_eq!(
             counts.len(),
@@ -128,24 +185,45 @@ impl CoverageGrid {
             "counts buffer size mismatch"
         );
         let r2 = sensing_range * sensing_range;
-        let lo_i = (((w.x - sensing_range) / self.resolution - 0.5).floor()).max(0.0) as usize;
-        let lo_j = (((w.y - sensing_range) / self.resolution - 0.5).floor()).max(0.0) as usize;
-        let hi_i = ((((w.x + sensing_range) / self.resolution) as usize).max(lo_i))
-            .min(self.cols.saturating_sub(1));
-        let hi_j = ((((w.y + sensing_range) / self.resolution) as usize).max(lo_j))
-            .min(self.rows.saturating_sub(1));
+        let (lo_i, hi_i) = self.col_span(w.x, sensing_range);
+        let (lo_j, hi_j) = self.row_span(w.y, sensing_range);
         for j in lo_j..=hi_j {
-            let y = (j as f64 + 0.5) * self.resolution;
-            let dy2 = (y - w.y) * (y - w.y);
+            let dy = self.ys[j] - w.y;
+            let dy2 = dy * dy;
             if dy2 > r2 {
                 continue;
             }
             let row = j * self.cols;
-            for (i, count) in counts[row + lo_i..=row + hi_i].iter_mut().enumerate() {
-                let x = ((lo_i + i) as f64 + 0.5) * self.resolution;
+            for (count, &x) in counts[row + lo_i..=row + hi_i]
+                .iter_mut()
+                .zip(&self.xs[lo_i..=hi_i])
+            {
+                let dx = x - w.x;
+                // Branch-free: apply a 0/1 mask instead of a conditional.
+                apply(count, u32::from(dx * dx + dy2 <= r2));
+            }
+        }
+    }
+
+    /// Collects the indices of the cells whose centers lie inside the disc
+    /// of `sensing_range` around `w`, in row-major order, appending to
+    /// `out`. This is the build step for [`CoverageCsr`]: the cell set is
+    /// exactly the set [`CoverageGrid::add_disc`] would increment.
+    pub fn disc_cells_into(&self, w: Point, sensing_range: f64, out: &mut Vec<u32>) {
+        let r2 = sensing_range * sensing_range;
+        let (lo_i, hi_i) = self.col_span(w.x, sensing_range);
+        let (lo_j, hi_j) = self.row_span(w.y, sensing_range);
+        for j in lo_j..=hi_j {
+            let dy = self.ys[j] - w.y;
+            let dy2 = dy * dy;
+            if dy2 > r2 {
+                continue;
+            }
+            let row = j * self.cols;
+            for (i, &x) in self.xs[lo_i..=hi_i].iter().enumerate() {
                 let dx = x - w.x;
                 if dx * dx + dy2 <= r2 {
-                    apply(count);
+                    out.push((row + lo_i + i) as u32);
                 }
             }
         }
@@ -215,6 +293,125 @@ impl CoverageGrid {
         (1..=max_k as usize)
             .map(|k| at_least[k] as f64 / total)
             .collect()
+    }
+}
+
+/// Precomputed node→cell coverage rows for a static topology.
+///
+/// Built once per deployment, [`CoverageCsr`] stores each node's covered
+/// cell indices as a compressed-sparse-row table (`offsets` + flat `cells`),
+/// so maintaining per-cell coverage counts as nodes start and stop working
+/// becomes a pure counter walk — no floating-point work, no disc
+/// rasterization — on the hot mode-transition path. Memory is O(Σ degree):
+/// one `u32` per (node, covered cell) pair.
+///
+/// # Examples
+///
+/// ```
+/// use peas_geom::{CoverageCsr, CoverageGrid, Field, Point};
+///
+/// let grid = CoverageGrid::new(Field::new(20.0, 20.0), 1.0);
+/// let nodes = [Point::new(10.0, 10.0), Point::new(3.0, 3.0)];
+/// let csr = CoverageCsr::build(&grid, &nodes, 5.0);
+/// let mut counts = vec![0u32; grid.sample_count()];
+/// csr.add_into(0, &mut counts);
+/// // The walk produces exactly what rasterizing the disc would.
+/// assert_eq!(counts, grid.coverage_counts(&nodes[..1], 5.0));
+/// csr.remove_into(0, &mut counts);
+/// assert!(counts.iter().all(|&c| c == 0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoverageCsr {
+    sample_count: usize,
+    /// `offsets[i]..offsets[i + 1]` indexes node `i`'s covered cells.
+    offsets: Vec<u32>,
+    /// Covered cell indices, row-major within each node's row.
+    cells: Vec<u32>,
+}
+
+impl CoverageCsr {
+    /// Precomputes every node's covered-cell row on `grid` at
+    /// `sensing_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensing_range` is not strictly positive and finite.
+    pub fn build(grid: &CoverageGrid, positions: &[Point], sensing_range: f64) -> CoverageCsr {
+        assert!(
+            sensing_range.is_finite() && sensing_range > 0.0,
+            "sensing range must be positive, got {sensing_range}"
+        );
+        let mut offsets = Vec::with_capacity(positions.len() + 1);
+        let mut cells = Vec::new();
+        offsets.push(0);
+        for &p in positions {
+            grid.disc_cells_into(p, sensing_range, &mut cells);
+            let end = u32::try_from(cells.len()).expect("more than u32::MAX covered cells");
+            offsets.push(end);
+        }
+        CoverageCsr {
+            sample_count: grid.sample_count(),
+            offsets,
+            cells,
+        }
+    }
+
+    /// Number of nodes the table was built over.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total stored (node, cell) pairs — the O(Σ degree) memory footprint.
+    pub fn cell_entry_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell indices `node`'s sensing disc covers, in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn cells_covered_by(&self, node: usize) -> &[u32] {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        &self.cells[lo..hi]
+    }
+
+    /// Increments the count of every cell `node` covers: the counter-walk
+    /// equivalent of [`CoverageGrid::add_disc`] at the build position and
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `counts.len()` differs from the
+    /// build grid's sample count.
+    pub fn add_into(&self, node: usize, counts: &mut [u32]) {
+        assert_eq!(
+            self.sample_count,
+            counts.len(),
+            "counts buffer size mismatch"
+        );
+        for &c in self.cells_covered_by(node) {
+            counts[c as usize] += 1;
+        }
+    }
+
+    /// Reverses one [`CoverageCsr::add_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, `counts.len()` differs from the
+    /// build grid's sample count, or (in debug builds, via overflow checks)
+    /// the node was never added.
+    pub fn remove_into(&self, node: usize, counts: &mut [u32]) {
+        assert_eq!(
+            self.sample_count,
+            counts.len(),
+            "counts buffer size mismatch"
+        );
+        for &c in self.cells_covered_by(node) {
+            counts[c as usize] -= 1;
+        }
     }
 }
 

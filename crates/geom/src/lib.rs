@@ -7,7 +7,12 @@
 //!   clustered node placement;
 //! * [`SpatialGrid`] — bucket grid for O(1) expected-time range queries
 //!   ("which nodes are within the probing range `Rp` of this point?");
+//! * [`NeighborTables`] — per-range-class CSR adjacency precomputed once
+//!   per (static) topology, the broadcast hot path's replacement for
+//!   repeated grid queries;
 //! * [`CoverageGrid`] — the K-coverage metric of Section 5.2;
+//! * [`CoverageCsr`] — precomputed node→cell coverage rows, making
+//!   incremental coverage maintenance a pure counter walk;
 //! * [`connectivity`] — the working-graph analysis behind Section 3's
 //!   `Rt ≥ (1 + √5)·Rp` connectivity condition;
 //! * [`UnionFind`] — the disjoint-set forest used by the above;
@@ -41,14 +46,16 @@ pub mod coverage;
 pub mod deploy;
 pub mod field;
 pub mod grid;
+pub mod neighbors;
 pub mod point;
 pub mod three_d;
 pub mod unionfind;
 
 pub use connectivity::{ConnectivityReport, CONNECTIVITY_FACTOR};
-pub use coverage::CoverageGrid;
+pub use coverage::{CoverageCsr, CoverageGrid};
 pub use deploy::Deployment;
 pub use field::Field;
 pub use grid::SpatialGrid;
+pub use neighbors::NeighborTables;
 pub use point::Point;
 pub use unionfind::UnionFind;

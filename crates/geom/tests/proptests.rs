@@ -4,7 +4,10 @@ use proptest::prelude::*;
 
 use peas_des::rng::SimRng;
 use peas_geom::three_d::{greedy_working_set, Volume};
-use peas_geom::{connectivity, CoverageGrid, Deployment, Field, Point, SpatialGrid, UnionFind};
+use peas_geom::{
+    connectivity, CoverageCsr, CoverageGrid, Deployment, Field, NeighborTables, Point, SpatialGrid,
+    UnionFind,
+};
 
 fn arb_point() -> impl Strategy<Value = Point> {
     (0.0f64..50.0, 0.0f64..50.0).prop_map(|(x, y)| Point::new(x, y))
@@ -42,6 +45,91 @@ proptest! {
         fast.sort_unstable();
         brute.sort_unstable();
         prop_assert_eq!(fast, brute);
+    }
+
+    /// Differential: the precomputed CSR adjacency of [`NeighborTables`]
+    /// exactly equals brute-force O(n²) pairwise distance filtering, for
+    /// all three range classes the protocol uses (probing `Rp`, transmit
+    /// `Rt`, sensing `Rs`) — including topologies with boundary-distance
+    /// pairs sitting at exactly `dist == range`.
+    #[test]
+    fn neighbor_tables_match_brute_force(
+        pts in prop::collection::vec(arb_point(), 0..120),
+        anchors in prop::collection::vec((0.0f64..40.0, 0.0f64..40.0), 0..8),
+        cell in 1.0f64..12.0,
+        rp in 1.0f64..6.0,
+        rt in 6.0f64..15.0,
+        rs in 8.0f64..12.0,
+    ) {
+        let field = Field::new(50.0, 50.0);
+        // Adversarial boundary pairs: each anchor gets a partner at exactly
+        // the probing range, so `dist == range` edges must round-trip.
+        let mut pts = pts;
+        for &(x, y) in &anchors {
+            pts.push(Point::new(x, y));
+            pts.push(Point::new(x + rp, y));
+        }
+        let mut grid = SpatialGrid::new(field, cell);
+        for (i, &p) in pts.iter().enumerate() {
+            grid.insert(i, p);
+        }
+        let radii = [rp, rt, rs];
+        let tables = NeighborTables::build(&grid, &pts, &radii);
+        for (class, &r) in radii.iter().enumerate() {
+            let mut edges = 0usize;
+            for i in 0..pts.len() {
+                let mut fast: Vec<u32> = tables.neighbors(class, i).to_vec();
+                edges += fast.len();
+                // Distances must be the true pairwise distances.
+                for (&j, &d) in tables.neighbors(class, i).iter()
+                    .zip(tables.distances(class, i))
+                {
+                    prop_assert_eq!(d, pts[i].distance(pts[j as usize]));
+                    prop_assert!(d <= r);
+                }
+                fast.sort_unstable();
+                let mut brute: Vec<u32> = (0..pts.len())
+                    .filter(|&j| j != i && pts[i].within(pts[j], r))
+                    .map(|j| j as u32)
+                    .collect();
+                brute.sort_unstable();
+                prop_assert_eq!(fast, brute, "class {} node {}", class, i);
+            }
+            prop_assert_eq!(edges, tables.edge_count(class));
+            // Adjacency at an inclusive radius is symmetric.
+            for i in 0..pts.len() {
+                for &j in tables.neighbors(class, i) {
+                    prop_assert!(
+                        tables.neighbors(class, j as usize).contains(&(i as u32)),
+                        "edge {}->{} not symmetric", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// The precomputed node→cell coverage CSR walks to exactly the counts a
+    /// per-disc rasterization produces, and removal restores zeros.
+    #[test]
+    fn coverage_csr_matches_rasterization(
+        pts in prop::collection::vec(arb_point(), 1..50),
+        range in 2.0f64..15.0,
+        resolution in 0.8f64..3.0,
+    ) {
+        let grid = CoverageGrid::new(Field::new(50.0, 50.0), resolution);
+        let csr = CoverageCsr::build(&grid, &pts, range);
+        let mut walked = vec![0u32; grid.sample_count()];
+        let mut rasterized = vec![0u32; grid.sample_count()];
+        for i in 0..pts.len() {
+            csr.add_into(i, &mut walked);
+            grid.add_disc(pts[i], range, &mut rasterized);
+        }
+        prop_assert_eq!(&walked, &rasterized);
+        prop_assert_eq!(&walked, &grid.coverage_counts(&pts, range));
+        for i in 0..pts.len() {
+            csr.remove_into(i, &mut walked);
+        }
+        prop_assert!(walked.iter().all(|&c| c == 0));
     }
 
     /// K-coverage is monotone: more working nodes never lower it, larger k

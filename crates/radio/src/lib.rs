@@ -47,6 +47,6 @@ pub mod reference;
 
 pub use channel::Channel;
 pub use energy::{Battery, EnergyCause, EnergyLedger};
-pub use medium::{Delivery, Medium, MediumStats, RxOutcome, Transmission, TxId};
+pub use medium::{Delivery, Medium, MediumStats, RxOutcome, Transmission, TxId, DEFAULT_GRID_CELL};
 pub use packet::{airtime, NodeId, RxInfo, PAPER_BITRATE_BPS, PAPER_CONTROL_FRAME_BYTES};
 pub use power::PowerProfile;

@@ -21,10 +21,26 @@
 //! a bucket); that draw order is part of the medium's determinism contract
 //! and is relied upon by the differential tests against the brute-force
 //! reference implementation (see `reference.rs`).
+//!
+//! ## Static-topology fast path
+//!
+//! Nodes never move, so for the handful of transmission ranges the protocol
+//! actually uses (the probing range `Rp`, the data range), the decodable
+//! receiver set of every possible broadcast is known at construction time.
+//! [`Medium::with_range_classes`] precomputes, per range class, a CSR table
+//! of decode rows — receiver id, true distance and effective (shadowed)
+//! distance, already filtered to `eff <= range` and stored in grid candidate
+//! order — built on top of [`peas_geom::NeighborTables`]. A broadcast whose
+//! range matches a class then replays its row as one slice iteration: no
+//! grid scan, no `sqrt`, no per-link shadowing draw. Because the rows keep
+//! candidate order and the filtered-out candidates never consumed loss
+//! draws in the first place, the fast path is RNG-for-RNG identical to the
+//! query path, which [`Medium::set_fast_path`] exposes for differential
+//! tests. Broadcasts at any other range fall back to the live grid query.
 
 use peas_des::rng::SimRng;
 use peas_des::time::{SimDuration, SimTime};
-use peas_geom::{Field, Point, SpatialGrid};
+use peas_geom::{Field, NeighborTables, Point, SpatialGrid};
 
 use crate::channel::Channel;
 use crate::packet::{airtime, NodeId, RxInfo};
@@ -143,6 +159,49 @@ struct TxSlot {
     receivers: Vec<RxEntry>,
 }
 
+/// Grid cell size used when no range classes are declared. Chosen for the
+/// paper's 50 × 50 m field with 10 m data range; [`Medium::with_range_classes`]
+/// derives the cell from the declared classes instead.
+pub const DEFAULT_GRID_CELL: f64 = 10.0;
+
+/// The bucket-grid cell size for a channel and set of range classes: the
+/// largest physical reach any class can have (so one class's candidates are
+/// always found within the 3 × 3 bucket neighborhood), falling back to
+/// [`DEFAULT_GRID_CELL`] when no classes are declared.
+pub(crate) fn derived_grid_cell(channel: &Channel, classes: &[f64]) -> f64 {
+    let mut cell = 0.0f64;
+    for &r in classes {
+        assert!(
+            r.is_finite() && r > 0.0,
+            "range class must be positive, got {r}"
+        );
+        cell = cell.max(channel.max_reach(r));
+    }
+    if cell == 0.0 {
+        DEFAULT_GRID_CELL
+    } else {
+        cell
+    }
+}
+
+/// One precomputed decodable receiver of a fast-path broadcast.
+#[derive(Clone, Copy, Debug)]
+struct DecodeRow {
+    rx: u32,
+    /// True Euclidean distance of the link.
+    dist: f64,
+    /// Effective (shadowed) distance; `<= range` by construction.
+    eff: f64,
+}
+
+/// Per-range-class CSR of decode rows: `offsets[i]..offsets[i + 1]` indexes
+/// sender `i`'s decodable receivers in grid candidate order.
+struct DecodeTable {
+    range: f64,
+    offsets: Vec<u32>,
+    rows: Vec<DecodeRow>,
+}
+
 /// The broadcast medium shared by all nodes of one network.
 ///
 /// # Examples
@@ -165,9 +224,15 @@ struct TxSlot {
 pub struct Medium {
     positions: Vec<Point>,
     grid: SpatialGrid,
+    grid_cell: f64,
     channel: Channel,
     bitrate_bps: u64,
     loss_rate: f64,
+    /// Precomputed decode rows, one table per declared range class.
+    tables: Vec<DecodeTable>,
+    /// When false, class-matching broadcasts use the live grid query even
+    /// though a table exists (differential-testing hook).
+    fast_path: bool,
     /// Slot-indexed in-flight transmissions; inactive slots are listed in
     /// `free` and recycled by the next broadcast.
     slots: Vec<TxSlot>,
@@ -182,9 +247,14 @@ pub struct Medium {
 }
 
 impl Medium {
-    /// Creates a medium over stationary nodes at `positions`.
+    /// Creates a medium over stationary nodes at `positions` with no
+    /// declared range classes: every broadcast uses the live grid query, on
+    /// a [`DEFAULT_GRID_CELL`]-sized bucket grid.
     ///
     /// `loss_rate` is the per-copy uniform drop probability in `[0, 1]`.
+    /// Callers that know their transmission ranges up front should prefer
+    /// [`Medium::with_range_classes`], which also sizes the bucket grid to
+    /// fit the largest reach instead of assuming the default.
     ///
     /// # Panics
     ///
@@ -197,22 +267,90 @@ impl Medium {
         bitrate_bps: u64,
         loss_rate: f64,
     ) -> Medium {
+        Medium::with_range_classes(field, positions, channel, bitrate_bps, loss_rate, &[])
+    }
+
+    /// Creates a medium that precomputes the decodable receiver set of every
+    /// (sender, range class) pair, so broadcasts at exactly one of the
+    /// declared `classes` ranges replay a flat decode row instead of running
+    /// a spatial query (see the module-level *Static-topology fast path*
+    /// notes). Class matching is exact `f64` equality — pass the same
+    /// configured constants you will later hand to
+    /// [`Medium::start_broadcast`].
+    ///
+    /// The bucket grid's cell size is derived from the classes (the largest
+    /// [`Channel::max_reach`] over them) rather than hardcoded, so fallback
+    /// queries at unclassified ranges stay correct and cheap whatever the
+    /// configuration. With an empty class list this is exactly
+    /// [`Medium::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_rate` is outside `[0, 1]`, `bitrate_bps` is zero, any
+    /// position lies outside `field`, or any class is not strictly positive
+    /// and finite.
+    pub fn with_range_classes(
+        field: Field,
+        positions: &[Point],
+        channel: Channel,
+        bitrate_bps: u64,
+        loss_rate: f64,
+        classes: &[f64],
+    ) -> Medium {
         assert!(
             (0.0..=1.0).contains(&loss_rate),
             "loss rate {loss_rate} not in [0,1]"
         );
         assert!(bitrate_bps > 0, "bitrate must be positive");
-        let mut grid = SpatialGrid::new(field, 10.0);
+        let grid_cell = derived_grid_cell(&channel, classes);
+        let mut grid = SpatialGrid::new(field, grid_cell);
         for (i, &p) in positions.iter().enumerate() {
             assert!(field.contains(p), "node {i} at {p:?} outside the field");
             grid.insert(i, p);
         }
+
+        // Physical adjacency at each class's maximum reach, rows in grid
+        // candidate order; then narrow each edge once through the channel
+        // model to the decodable set, exactly as the query path would per
+        // broadcast.
+        let reaches: Vec<f64> = classes.iter().map(|&r| channel.max_reach(r)).collect();
+        let adjacency = NeighborTables::build(&grid, positions, &reaches);
+        let tables = classes
+            .iter()
+            .enumerate()
+            .map(|(class, &range)| {
+                let mut t = DecodeTable {
+                    range,
+                    offsets: Vec::with_capacity(positions.len() + 1),
+                    rows: Vec::new(),
+                };
+                t.offsets.push(0);
+                for i in 0..positions.len() {
+                    let ids = adjacency.neighbors(class, i);
+                    let dists = adjacency.distances(class, i);
+                    for (&j, &dist) in ids.iter().zip(dists) {
+                        let eff = channel.effective_distance(NodeId(i as u32), NodeId(j), dist);
+                        if eff <= range {
+                            t.rows.push(DecodeRow { rx: j, dist, eff });
+                        }
+                    }
+                    let end = u32::try_from(t.rows.len())
+                        .expect("more than u32::MAX decode rows in one class");
+                    t.offsets.push(end);
+                }
+                t
+            })
+            .collect();
+
         Medium {
             positions: positions.to_vec(),
             grid,
+            grid_cell,
             channel,
             bitrate_bps,
             loss_rate,
+            tables,
+            fast_path: true,
             slots: Vec::new(),
             free: Vec::new(),
             arrivals: vec![Vec::new(); positions.len()],
@@ -220,6 +358,26 @@ impl Medium {
             scratch: Vec::new(),
             stats: MediumStats::default(),
         }
+    }
+
+    /// Enables or disables the precomputed decode-row fast path. Defaults to
+    /// enabled; disabling forces every broadcast through the live grid
+    /// query. The two paths are RNG-for-RNG identical (same receivers, same
+    /// draw order), so this only exists for differential tests and
+    /// benchmarking the query path.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+    }
+
+    /// The bucket-grid cell size in meters: the largest class reach when
+    /// range classes were declared, [`DEFAULT_GRID_CELL`] otherwise.
+    pub fn grid_cell(&self) -> f64 {
+        self.grid_cell
+    }
+
+    /// Number of precomputed range classes.
+    pub fn range_class_count(&self) -> usize {
+        self.tables.len()
     }
 
     /// Number of nodes on this medium.
@@ -314,39 +472,91 @@ impl Medium {
         // Sender occupies its own radio (half-duplex): its entry corrupts
         // any frame arriving during this transmission.
         self.note_arrival(slot, SENDER_ENTRY, sender);
-        let mut in_reach = std::mem::take(&mut self.scratch);
-        in_reach.clear();
-        in_reach.extend(self.grid.within_entries(sender_pos, reach));
-        for &(idx, pos) in &in_reach {
-            if idx == sender.index() {
-                continue;
+        // Take the receiver list out of the slot so `push_receiver` can
+        // borrow `self` mutably; no entry of the list can be reached through
+        // `self.arrivals` while it is detached (each receiver is registered
+        // at most once per transmission, and only after its entry exists).
+        let mut receivers = std::mem::take(&mut self.slots[slot as usize].receivers);
+        let class = self
+            .tables
+            .iter()
+            .position(|t| t.range == intended_range)
+            .filter(|_| self.fast_path);
+        if let Some(class) = class {
+            // Fast path: replay the precomputed decode row. Same receivers,
+            // same order, same loss draws as the query path below.
+            let lo = self.tables[class].offsets[sender.index()] as usize;
+            let hi = self.tables[class].offsets[sender.index() + 1] as usize;
+            for k in lo..hi {
+                let row = self.tables[class].rows[k];
+                self.push_receiver(slot, &mut receivers, NodeId(row.rx), row.dist, row.eff, rng);
             }
-            let rx = NodeId(idx as u32);
-            let dist = sender_pos.distance(pos);
-            let eff = self.channel.effective_distance(sender, rx, dist);
-            if eff > intended_range {
-                continue; // too weak to decode at this power level
+        } else {
+            let mut in_reach = std::mem::take(&mut self.scratch);
+            in_reach.clear();
+            in_reach.extend(self.grid.within_entries(sender_pos, reach));
+            for &(idx, pos) in &in_reach {
+                if idx == sender.index() {
+                    continue;
+                }
+                let rx = NodeId(idx as u32);
+                let dist = sender_pos.distance(pos);
+                let eff = self.channel.effective_distance(sender, rx, dist);
+                if eff > intended_range {
+                    continue; // too weak to decode at this power level
+                }
+                self.push_receiver(slot, &mut receivers, rx, dist, eff, rng);
             }
-            let lost = rng.bernoulli(self.loss_rate);
-            let entry = self.slots[slot as usize].receivers.len() as u32;
-            self.slots[slot as usize].receivers.push(RxEntry {
-                rx,
-                info: RxInfo {
-                    distance: dist,
-                    effective_distance: eff,
-                },
-                lost,
-                corrupted: false,
-            });
-            self.note_arrival(slot, entry, rx);
+            self.scratch = in_reach;
         }
-        self.scratch = in_reach;
+        self.slots[slot as usize].receivers = receivers;
         self.on_air.push((sender_pos, reach, end));
         Transmission {
             id,
             airtime: duration,
             end,
         }
+    }
+
+    /// Registers `rx` as a decodable receiver of the transmission in `slot`
+    /// (whose receiver list is detached as `receivers`): draws the loss
+    /// process, marks overlap corruption in both directions, and appends the
+    /// entry plus its arrival marker.
+    fn push_receiver(
+        &mut self,
+        slot: u32,
+        receivers: &mut Vec<RxEntry>,
+        rx: NodeId,
+        dist: f64,
+        eff: f64,
+        rng: &mut SimRng,
+    ) {
+        let lost = rng.bernoulli(self.loss_rate);
+        let n = rx.index();
+        // All stored arrivals still have end > "now" (completed ones are
+        // removed at their end instant), so any existing entry overlaps.
+        let corrupted = !self.arrivals[n].is_empty();
+        if corrupted {
+            for k in 0..self.arrivals[n].len() {
+                let a = self.arrivals[n][k];
+                if a.entry != SENDER_ENTRY {
+                    self.slots[a.slot as usize].receivers[a.entry as usize].corrupted = true;
+                }
+            }
+        }
+        self.arrivals[n].push(Arrival {
+            slot,
+            entry: receivers.len() as u32,
+        });
+        receivers.push(RxEntry {
+            rx,
+            info: RxInfo {
+                distance: dist,
+                effective_distance: eff,
+            },
+            lost,
+            corrupted,
+        });
     }
 
     /// Registers that transmission `slot` is arriving at `node` (as receiver
@@ -660,6 +870,119 @@ mod tests {
         let dels = m.complete(tx.id);
         assert_eq!(m.stats().frames_sent, 1);
         assert_eq!(m.stats().deliveries_ok, dels.len() as u64);
+    }
+
+    /// Drives a schedule with overlapping, loss-prone broadcasts at the
+    /// declared class ranges plus an unclassified range, and returns every
+    /// delivery in order.
+    fn drive_schedule(m: &mut Medium, classes: &[f64], seed: u64) -> Vec<Delivery> {
+        let mut rng = SimRng::new(seed);
+        let mut out = Vec::new();
+        let n = m.node_count() as u32;
+        let mut pending: Vec<TxId> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for step in 0..60u32 {
+            let sender = NodeId((step * 7) % n);
+            let range = if step % 5 == 4 {
+                4.5 // unclassified: must take the query path in both media
+            } else {
+                classes[step as usize % classes.len()]
+            };
+            let tx = m.start_broadcast(now, sender, range, 25, &mut rng);
+            pending.push(tx.id);
+            // Overlap every other pair of frames.
+            if step % 2 == 1 {
+                now = tx.end;
+                for id in pending.drain(..) {
+                    out.extend(m.complete(id));
+                }
+            } else {
+                now = now + SimDuration::from_millis(3);
+            }
+        }
+        for id in pending {
+            out.extend(m.complete(id));
+        }
+        out
+    }
+
+    #[test]
+    fn fast_path_is_byte_identical_to_query_path() {
+        let positions: Vec<Point> = (0..40)
+            .map(|i| Point::new((i % 8) as f64 * 2.5, (i / 8) as f64 * 3.5))
+            .collect();
+        let field = Field::new(20.0, 20.0);
+        let classes = [3.0, 10.0];
+        for channel in [Channel::Disc, Channel::shadowed(42)] {
+            for loss in [0.0, 0.3] {
+                let mut fast = Medium::with_range_classes(
+                    field,
+                    &positions,
+                    channel.clone(),
+                    20_000,
+                    loss,
+                    &classes,
+                );
+                let mut slow = Medium::with_range_classes(
+                    field,
+                    &positions,
+                    channel.clone(),
+                    20_000,
+                    loss,
+                    &classes,
+                );
+                slow.set_fast_path(false);
+                let a = drive_schedule(&mut fast, &classes, 77);
+                let b = drive_schedule(&mut slow, &classes, 77);
+                assert_eq!(a, b, "channel {channel:?} loss {loss}");
+                assert!(!a.is_empty());
+                assert_eq!(fast.stats(), slow.stats());
+            }
+        }
+    }
+
+    #[test]
+    fn unclassified_range_falls_back_to_query_path() {
+        let positions: Vec<Point> = (0..10).map(|i| Point::new(2.0 * i as f64, 0.0)).collect();
+        let mut m = Medium::with_range_classes(
+            Field::new(20.0, 5.0),
+            &positions,
+            Channel::Disc,
+            20_000,
+            0.0,
+            &[3.0],
+        );
+        let mut rng = SimRng::new(1);
+        // 5.0 is not a declared class; the broadcast must still deliver.
+        let tx = m.start_broadcast(SimTime::ZERO, NodeId(0), 5.0, 25, &mut rng);
+        let mut rxs: Vec<u32> = m.complete(tx.id).iter().map(|d| d.receiver.0).collect();
+        rxs.sort_unstable();
+        assert_eq!(rxs, vec![1, 2]);
+    }
+
+    #[test]
+    fn grid_cell_derives_from_largest_class_reach() {
+        let positions = vec![Point::new(1.0, 1.0)];
+        let field = Field::new(60.0, 60.0);
+        let m =
+            Medium::with_range_classes(field, &positions, Channel::Disc, 20_000, 0.0, &[3.0, 10.0]);
+        assert_eq!(m.grid_cell(), 10.0);
+        assert_eq!(m.range_class_count(), 2);
+        // Shadowing widens the physical reach past the intended range.
+        let shadowed = Medium::with_range_classes(
+            field,
+            &positions,
+            Channel::shadowed(1),
+            20_000,
+            0.0,
+            &[10.0],
+        );
+        assert_eq!(shadowed.grid_cell(), Channel::shadowed(1).max_reach(10.0));
+        assert!(shadowed.grid_cell() > 10.0);
+        // Class-less construction keeps the documented default.
+        let plain = Medium::new(field, &positions, Channel::Disc, 20_000, 0.0);
+        assert_eq!(plain.grid_cell(), DEFAULT_GRID_CELL);
+        assert_eq!(plain.range_class_count(), 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use peas_des::time::SimTime;
 use peas_geom::{Field, Point, SpatialGrid};
 
 use crate::channel::Channel;
-use crate::medium::{Delivery, RxOutcome};
+use crate::medium::{derived_grid_cell, Delivery, RxOutcome};
 use crate::packet::{airtime, NodeId, RxInfo};
 
 /// Handle to one transmission started on a [`ReferenceMedium`].
@@ -69,12 +69,35 @@ impl ReferenceMedium {
         bitrate_bps: u64,
         loss_rate: f64,
     ) -> ReferenceMedium {
+        ReferenceMedium::with_range_classes(field, positions, channel, bitrate_bps, loss_rate, &[])
+    }
+
+    /// Mirrors [`Medium::with_range_classes`](crate::Medium::with_range_classes):
+    /// derives the same bucket-grid cell size from `classes`, so the
+    /// reference's candidate enumeration order — and therefore its RNG
+    /// stream — stays aligned with the production medium's. The reference
+    /// deliberately keeps querying the grid live instead of precomputing
+    /// decode rows; that independence is the point of the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_rate` is outside `[0, 1]`, `bitrate_bps` is zero, any
+    /// position lies outside `field`, or any class is not strictly positive
+    /// and finite.
+    pub fn with_range_classes(
+        field: Field,
+        positions: &[Point],
+        channel: Channel,
+        bitrate_bps: u64,
+        loss_rate: f64,
+        classes: &[f64],
+    ) -> ReferenceMedium {
         assert!(
             (0.0..=1.0).contains(&loss_rate),
             "loss rate {loss_rate} not in [0,1]"
         );
         assert!(bitrate_bps > 0, "bitrate must be positive");
-        let mut grid = SpatialGrid::new(field, 10.0);
+        let mut grid = SpatialGrid::new(field, derived_grid_cell(&channel, classes));
         for (i, &p) in positions.iter().enumerate() {
             assert!(field.contains(p), "node {i} at {p:?} outside the field");
             grid.insert(i, p);

@@ -153,19 +153,24 @@ proptest! {
         prop_assert!(diff <= 2, "airtime not linear: {t1:?} vs {t2:?}");
     }
 
-    /// Differential test: the dense slot-recycling [`Medium`] must produce
-    /// exactly the delivery vectors of the retained brute-force
-    /// [`ReferenceMedium`] oracle when both are driven through the same
-    /// chronological schedule of overlapping broadcasts with
-    /// identically-seeded RNGs — across random topologies, loss rates and
-    /// both propagation models.
+    /// Differential test: the dense slot-recycling [`Medium`] — including
+    /// its precomputed decode-row fast path — must produce exactly the
+    /// delivery vectors of the retained brute-force [`ReferenceMedium`]
+    /// oracle when both are driven through the same chronological schedule
+    /// of overlapping broadcasts with identically-seeded RNGs — across
+    /// random topologies, loss rates and both propagation models. Each
+    /// schedule entry either hits one of the two declared range classes
+    /// (exercising the fast path) or an arbitrary range (exercising the
+    /// grid fallback).
     #[test]
     fn dense_medium_matches_brute_force_reference(
         positions in arb_positions(25),
         schedule in prop::collection::vec(
-            (0u64..150, 0usize..25, 1.0f64..15.0, 10usize..60),
+            (0u64..150, 0usize..25, 1.0f64..15.0, 10usize..60, 0u32..4),
             1..40,
         ),
+        class_rp in 1.0f64..6.0,
+        class_rt in 6.0f64..15.0,
         loss in 0.0f64..0.5,
         shadow in 0u32..2,
         channel_seed in any::<u64>(),
@@ -179,8 +184,13 @@ proptest! {
         } else {
             Channel::Disc
         };
-        let mut medium = Medium::new(field, &positions, channel.clone(), 20_000, loss);
-        let mut reference = ReferenceMedium::new(field, &positions, channel, 20_000, loss);
+        let classes = [class_rp, class_rt];
+        let mut medium = Medium::with_range_classes(
+            field, &positions, channel.clone(), 20_000, loss, &classes,
+        );
+        let mut reference = ReferenceMedium::with_range_classes(
+            field, &positions, channel, 20_000, loss, &classes,
+        );
         // The loss draws follow the documented grid-order contract in both
         // implementations, so identically-seeded generators stay aligned.
         let mut medium_rng = SimRng::new(rng_seed);
@@ -190,11 +200,17 @@ proptest! {
         // schedule order and both mediums see the identical sequence.
         let mut starts: Vec<(SimTime, usize, f64, usize)> = schedule
             .iter()
-            .map(|&(ms, sender, range, size)| {
+            .map(|&(ms, sender, range, size, pick)| {
                 (
                     SimTime::from_nanos(ms * 1_000_000),
                     sender % positions.len(),
-                    range,
+                    // Half the entries broadcast at a class range (fast
+                    // path), half at the raw range (grid fallback).
+                    match pick {
+                        0 => class_rp,
+                        1 => class_rt,
+                        _ => range,
+                    },
                     size,
                 )
             })

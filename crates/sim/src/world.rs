@@ -25,7 +25,7 @@ use peas::{
     Timer as PeasTimer,
 };
 use peas_des::prelude::*;
-use peas_geom::{CoverageGrid, Point};
+use peas_geom::{CoverageCsr, CoverageGrid, Point};
 use peas_grab::{GrabMessage, GrabRelay, GrabSink, GrabSource};
 use peas_radio::{Battery, Delivery, EnergyCause, EnergyLedger, Medium, NodeId, RxInfo, TxId};
 
@@ -139,8 +139,12 @@ pub struct World {
     /// Reused delivery buffer for [`Medium::complete_into`].
     deliveries_buf: Vec<Delivery>,
     coverage: CoverageGrid,
-    /// Per-sample-point working-node counts, maintained incrementally by
-    /// rasterizing one disc per Working transition (exactly what a full
+    /// Precomputed sensor→cell coverage rows: one Working transition is a
+    /// pure counter walk over the node's row (exactly what rasterizing its
+    /// disc would produce — the predicates are shared bitwise).
+    coverage_csr: CoverageCsr,
+    /// Per-sample-point working-node counts, maintained incrementally via
+    /// [`CoverageCsr`] walks on Working transitions (exactly what a full
     /// rasterization of the current working set would produce).
     cov_counts: Vec<u32>,
     /// Scratch buffer for the debug-build full-rasterization cross-check.
@@ -152,6 +156,11 @@ pub struct World {
     working_pos: Vec<Point>,
     /// Per sensor: its index in `working_nodes`, or [`NOT_WORKING`].
     working_slot: Vec<u32>,
+    /// Per sensor: `alive && mode.is_awake()`, maintained on every mode
+    /// transition. The delivery hot path (~receivers × frames checks per
+    /// run) reads this one flat byte instead of chasing the fat
+    /// [`SensorRt`] for a mode that rarely changed.
+    awake: Vec<bool>,
     /// Alive sensors per mode, indexed by [`mode_rank`].
     census: [usize; 4],
     /// Sum of every sensor's wakeup counter, maintained incrementally.
@@ -206,12 +215,22 @@ impl World {
             (usize::MAX, usize::MAX)
         };
 
-        let medium = Medium::new(
+        // The two transmission ranges the whole run will ever use: PEAS
+        // control traffic and (when enabled) GRAB data traffic. Declaring
+        // them lets the medium precompute per-sender decode rows.
+        let mut range_classes = vec![config.peas.control_tx_range()];
+        if let Some(g) = &config.grab {
+            if !range_classes.contains(&g.data_range) {
+                range_classes.push(g.data_range);
+            }
+        }
+        let medium = Medium::with_range_classes(
             config.field,
             &positions,
             config.channel.clone(),
             config.bitrate_bps,
             config.loss_rate,
+            &range_classes,
         );
 
         let mut sim = Simulator::new();
@@ -263,9 +282,11 @@ impl World {
         let mut working_nodes = Vec::new();
         let mut working_pos = Vec::new();
         let mut working_slot = vec![NOT_WORKING; config.node_count];
+        let mut awake = vec![false; config.node_count];
         for (i, s) in sensors.iter().enumerate() {
             let mode = if s.alive { s.peas.mode() } else { Mode::Dead };
             census[mode_rank(mode)] += 1;
+            awake[i] = s.alive && mode.is_awake();
             if s.alive && mode == Mode::Working {
                 working_slot[i] = working_nodes.len() as u32;
                 working_nodes.push(i as u32);
@@ -275,14 +296,22 @@ impl World {
         let total_wakeups = sensors.iter().map(|s| s.peas.stats().wakeups).sum();
 
         let coverage = CoverageGrid::new(config.field, config.metrics.coverage_resolution);
+        // Sensors only: the GRAB infrastructure nodes do not sense.
+        let coverage_csr = CoverageCsr::build(
+            &coverage,
+            &positions[..config.node_count],
+            config.sensing_range,
+        );
         let mut cov_counts = vec![0u32; coverage.sample_count()];
-        for &p in &working_pos {
-            coverage.add_disc(p, config.sensing_range, &mut cov_counts);
+        for &i in &working_nodes {
+            coverage_csr.add_into(i as usize, &mut cov_counts);
         }
 
         let mut world = World {
             coverage,
+            coverage_csr,
             cov_counts,
+            awake,
             alive_sensors: config.node_count,
             sim,
             medium,
@@ -658,12 +687,12 @@ impl World {
     fn try_send(&mut self, now: SimTime, idx: usize, payload: Payload, range: f64, attempts: u8) {
         let is_infra = idx == self.source_idx || idx == self.sink_idx;
         if !is_infra {
-            let s = &self.sensors[idx];
-            if !s.alive || !s.peas.mode().is_awake() {
+            if !self.awake[idx] {
                 return; // node died or went to sleep since scheduling
             }
             // A relay that stopped working must not forward stale GRAB frames.
-            if matches!(payload, Payload::Grab(_)) && s.peas.mode() != Mode::Working {
+            if matches!(payload, Payload::Grab(_)) && self.sensors[idx].peas.mode() != Mode::Working
+            {
                 return;
             }
         }
@@ -793,8 +822,7 @@ impl World {
             }
             return;
         }
-        let s = &self.sensors[rx];
-        if !s.alive || !s.peas.mode().is_awake() {
+        if !self.awake[rx] {
             return; // radio powered down; the frame fell on deaf ears
         }
         self.account(rx, now);
@@ -992,6 +1020,13 @@ impl World {
                 .sum::<u64>(),
             "incremental wakeup total out of sync"
         );
+        debug_assert!(
+            self.sensors
+                .iter()
+                .zip(&self.awake)
+                .all(|(s, &w)| w == (s.alive && s.peas.mode().is_awake())),
+            "awake bitmap out of sync with sensor modes"
+        );
         #[cfg(debug_assertions)]
         {
             let mut fresh = std::mem::take(&mut self.coverage_buf);
@@ -1072,6 +1107,7 @@ impl World {
         }
         self.census[mode_rank(from)] -= 1;
         self.census[mode_rank(to)] += 1;
+        self.awake[idx] = to.is_awake();
         if from == Mode::Working {
             let slot = self.working_slot[idx] as usize;
             self.working_nodes.swap_remove(slot);
@@ -1081,21 +1117,13 @@ impl World {
                 let moved = self.working_nodes[slot] as usize;
                 self.working_slot[moved] = slot as u32;
             }
-            self.coverage.remove_disc(
-                self.positions[idx],
-                self.cfg.sensing_range,
-                &mut self.cov_counts,
-            );
+            self.coverage_csr.remove_into(idx, &mut self.cov_counts);
         }
         if to == Mode::Working {
             self.working_slot[idx] = self.working_nodes.len() as u32;
             self.working_nodes.push(idx as u32);
             self.working_pos.push(self.positions[idx]);
-            self.coverage.add_disc(
-                self.positions[idx],
-                self.cfg.sensing_range,
-                &mut self.cov_counts,
-            );
+            self.coverage_csr.add_into(idx, &mut self.cov_counts);
         }
     }
 

@@ -9,7 +9,8 @@
 //! printed in the failure message.
 
 use peas_repro::des::time::SimTime;
-use peas_repro::simulation::{run_one, ScenarioConfig};
+use peas_repro::radio::Channel;
+use peas_repro::simulation::{run_one, RunReport, ScenarioConfig};
 
 /// FNV-1a over the formatted sample stream.
 fn fingerprint(parts: impl Iterator<Item = String>) -> u64 {
@@ -25,12 +26,13 @@ fn fingerprint(parts: impl Iterator<Item = String>) -> u64 {
 
 const GOLDEN_FINGERPRINT: u64 = 0x4053_87E1_0CC7_2444;
 
-#[test]
-fn small_scenario_fingerprint_is_stable() {
-    let mut config = ScenarioConfig::paper(100).with_seed(2024);
-    config.horizon = SimTime::from_secs(1_500);
-    let report = run_one(config);
-    let fp = fingerprint(report.samples.iter().map(|s| {
+/// Same scenario under log-normal shadowing with random loss: pins the
+/// RNG-consumption order of the per-edge precomputed shadowing draws and
+/// the per-receiver loss draws on the decode-row fast path.
+const GOLDEN_FINGERPRINT_SHADOWED: u64 = 0xCA76_1049_62AF_AC70;
+
+fn sample_fingerprint(report: &RunReport) -> u64 {
+    fingerprint(report.samples.iter().map(|s| {
         format!(
             "{:.3}|{:?}|{}|{}|{}|{}|{:?}",
             s.t_secs,
@@ -44,11 +46,34 @@ fn small_scenario_fingerprint_is_stable() {
             s.total_wakeups,
             s.delivery_ratio.map(|r| (r * 1e6).round() as u64),
         )
-    }));
+    }))
+}
+
+#[test]
+fn small_scenario_fingerprint_is_stable() {
+    let mut config = ScenarioConfig::paper(100).with_seed(2024);
+    config.horizon = SimTime::from_secs(1_500);
+    let report = run_one(config);
+    let fp = sample_fingerprint(&report);
     assert_eq!(
         fp, GOLDEN_FINGERPRINT,
         "simulation behavior changed: new fingerprint {fp:#018X}. If the \
          change is intentional (check EXPERIMENTS.md still reproduces), \
          update GOLDEN_FINGERPRINT."
+    );
+}
+
+#[test]
+fn shadowed_scenario_fingerprint_is_stable() {
+    let mut config = ScenarioConfig::paper(100).with_seed(2024);
+    config.horizon = SimTime::from_secs(1_500);
+    config.channel = Channel::shadowed(7);
+    config.loss_rate = 0.05;
+    let report = run_one(config);
+    let fp = sample_fingerprint(&report);
+    assert_eq!(
+        fp, GOLDEN_FINGERPRINT_SHADOWED,
+        "shadowed-channel behavior changed: new fingerprint {fp:#018X}. If \
+         the change is intentional, update GOLDEN_FINGERPRINT_SHADOWED."
     );
 }
