@@ -1,0 +1,242 @@
+//! Deterministic associative containers for simulation state.
+//!
+//! `std::collections::HashMap`/`HashSet` iterate in an order that depends
+//! on a per-process random hasher seed, so any protocol logic that walks
+//! one — or even folds over `.len()`-adjacent iteration — can change
+//! behavior run-to-run and break the golden fingerprints. `peas-lint`
+//! (rule `d1-std-hash`) bans them from sim-logic crates; [`DetMap`] and
+//! [`DetSet`] are the drop-in replacements.
+//!
+//! Both are thin newtypes over the `BTree` collections: iteration order is
+//! the key order, fully determined by the data, never by process state.
+//! The API is the subset the simulator needs; extend it as call sites
+//! appear rather than re-exposing the whole `BTreeMap` surface, so every
+//! operation in sim code stays auditable.
+//!
+//! # Examples
+//!
+//! ```
+//! use peas_des::{DetMap, DetSet};
+//!
+//! let mut seen: DetSet<(u32, u64)> = DetSet::new();
+//! assert!(seen.insert((3, 1)));
+//! assert!(!seen.insert((3, 1)), "duplicate");
+//! assert!(seen.contains(&(3, 1)));
+//!
+//! let mut leaders: DetMap<u32, &str> = DetMap::new();
+//! leaders.insert(2, "b");
+//! leaders.insert(1, "a");
+//! // Iteration is key-ordered, independent of insertion order or any
+//! // per-process hasher seed.
+//! let order: Vec<u32> = leaders.iter().map(|(&k, _)| k).collect();
+//! assert_eq!(order, vec![1, 2]);
+//! ```
+
+use std::collections::{btree_map, btree_set, BTreeMap, BTreeSet};
+
+/// A map with deterministic, key-ordered iteration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DetMap<K: Ord, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// An empty map.
+    pub fn new() -> DetMap<K, V> {
+        DetMap {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.inner.get(key)
+    }
+
+    /// Mutable access to the value at `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.inner.get_mut(key)
+    }
+
+    /// Removes and returns the value at `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.inner.remove(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Key-ordered iteration (deterministic by construction).
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.inner.iter()
+    }
+
+    /// Key-ordered iteration over values.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.inner.values()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> DetMap<K, V> {
+        DetMap {
+            inner: BTreeMap::from_iter(iter),
+        }
+    }
+}
+
+/// A set with deterministic, value-ordered iteration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DetSet<T: Ord> {
+    inner: BTreeSet<T>,
+}
+
+impl<T: Ord> DetSet<T> {
+    /// An empty set.
+    pub fn new() -> DetSet<T> {
+        DetSet {
+            inner: BTreeSet::new(),
+        }
+    }
+
+    /// Inserts `value`; `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value)
+    }
+
+    /// Whether `value` is present.
+    pub fn contains(&self, value: &T) -> bool {
+        self.inner.contains(value)
+    }
+
+    /// Removes `value`; `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        self.inner.remove(value)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drops every element.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Value-ordered iteration (deterministic by construction).
+    pub fn iter(&self) -> btree_set::Iter<'_, T> {
+        self.inner.iter()
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = btree_set::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> DetSet<T> {
+        DetSet {
+            inner: BTreeSet::from_iter(iter),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_insert_contains_remove() {
+        let mut s = DetSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert((2u32, 9u64)));
+        assert!(!s.insert((2, 9)));
+        assert!(s.contains(&(2, 9)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(&(2, 9)));
+        assert!(!s.remove(&(2, 9)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_iteration_is_sorted_regardless_of_insertion_order() {
+        let mut a = DetSet::new();
+        for v in [5u32, 1, 3, 2, 4] {
+            a.insert(v);
+        }
+        let mut b = DetSet::new();
+        for v in [4u32, 2, 5, 3, 1] {
+            b.insert(v);
+        }
+        assert_eq!(a, b);
+        let order: Vec<u32> = a.iter().copied().collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn map_basic_ops_and_sorted_iteration() {
+        let mut m = DetMap::new();
+        assert_eq!(m.insert(7u32, "seven"), None);
+        assert_eq!(m.insert(7, "SEVEN"), Some("seven"));
+        m.insert(1, "one");
+        assert_eq!(m.get(&7), Some(&"SEVEN"));
+        assert!(m.contains_key(&1));
+        if let Some(v) = m.get_mut(&1) {
+            *v = "ONE";
+        }
+        let pairs: Vec<(u32, &str)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(pairs, vec![(1, "ONE"), (7, "SEVEN")]);
+        assert_eq!(m.remove(&7), Some("SEVEN"));
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: DetSet<u32> = [3, 1, 2].into_iter().collect();
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let m: DetMap<u32, u32> = [(2, 20), (1, 10)].into_iter().collect();
+        assert_eq!(m.values().copied().collect::<Vec<_>>(), vec![10, 20]);
+    }
+}

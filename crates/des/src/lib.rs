@@ -12,7 +12,10 @@
 //! * [`rng`] — xoshiro256++ generators with per-entity decoupled streams and
 //!   the samplers PEAS needs (exponential sleeping times, uniform backoffs,
 //!   normally distributed signal irregularity);
-//! * [`sim`] — the [`Simulator`] pull loop combining clock and queue.
+//! * [`sim`] — the [`Simulator`] pull loop combining clock and queue;
+//! * [`detmap`] — [`DetMap`]/[`DetSet`], deterministic-iteration
+//!   replacements for the banned `std` hash collections (`peas-lint`
+//!   rule `d1-std-hash`).
 //!
 //! # Example: a minimal wake/sleep process
 //!
@@ -40,11 +43,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detmap;
 pub mod event;
 pub mod rng;
 pub mod sim;
 pub mod time;
 
+pub use detmap::{DetMap, DetSet};
 pub use event::{EventId, EventQueue, Fired};
 pub use rng::SimRng;
 pub use sim::Simulator;
@@ -52,6 +57,7 @@ pub use time::{SimDuration, SimTime};
 
 /// Convenience re-exports for simulator-driving code.
 pub mod prelude {
+    pub use crate::detmap::{DetMap, DetSet};
     pub use crate::event::{EventId, Fired};
     pub use crate::rng::SimRng;
     pub use crate::sim::Simulator;

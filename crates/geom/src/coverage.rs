@@ -346,6 +346,7 @@ impl CoverageCsr {
         offsets.push(0);
         for &p in positions {
             grid.disc_cells_into(p, sensing_range, &mut cells);
+            // peas-lint: allow(r1-unchecked-panic) -- u32 offsets are a deliberate CSR size cap; >4G cells means a misconfigured field
             let end = u32::try_from(cells.len()).expect("more than u32::MAX covered cells");
             offsets.push(end);
         }

@@ -108,6 +108,7 @@ impl NeighborTables {
                         csr.distances.push(p.distance(q));
                     }
                     let end = u32::try_from(csr.neighbors.len())
+                        // peas-lint: allow(r1-unchecked-panic) -- u32 offsets are a deliberate CSR size cap; >4G edges means a misconfigured scenario
                         .expect("more than u32::MAX edges in one class");
                     csr.offsets.push(end);
                 }

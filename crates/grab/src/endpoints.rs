@@ -5,7 +5,7 @@
 //! report is delivered to the sink using the GRAB forwarding protocol."
 //! Both are infrastructure nodes: always awake, not subject to PEAS.
 
-use std::collections::HashSet;
+use peas_des::DetSet;
 
 use crate::config::GrabConfig;
 use crate::msg::{GrabMessage, Report};
@@ -26,7 +26,7 @@ use peas_radio::NodeId;
 #[derive(Clone, Debug, Default)]
 pub struct GrabSink {
     epoch: u32,
-    delivered: HashSet<(u32, u64)>,
+    delivered: DetSet<(u32, u64)>,
     duplicate_arrivals: u64,
 }
 

@@ -4,10 +4,9 @@
 //! when a node is turned off its relay state is reset — it re-learns its
 //! cost from the next ADV epoch after it starts working again.
 
-use std::collections::HashSet;
-
 use peas_des::rng::SimRng;
 use peas_des::time::SimDuration;
+use peas_des::DetSet;
 
 use crate::config::GrabConfig;
 use crate::msg::{GrabMessage, Report};
@@ -84,7 +83,7 @@ impl CostState {
 pub struct GrabRelay {
     config: GrabConfig,
     cost: CostState,
-    seen_reports: HashSet<(u32, u64)>,
+    seen_reports: DetSet<(u32, u64)>,
     forwarded: u64,
     dropped_budget: u64,
     dropped_gradient: u64,
@@ -104,7 +103,7 @@ impl GrabRelay {
         GrabRelay {
             config,
             cost: CostState::new(),
-            seen_reports: HashSet::new(),
+            seen_reports: DetSet::new(),
             forwarded: 0,
             dropped_budget: 0,
             dropped_gradient: 0,

@@ -1,0 +1,8 @@
+//! Fixture: rule `r2-undocumented-panic` must fire on a public function
+//! that can panic without a `# Panics` doc section.
+
+/// Splits the interval — but says nothing about rejecting empty ones.
+pub fn midpoint(lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "empty interval");
+    lo + (hi - lo) / 2
+}

@@ -1,0 +1,7 @@
+//! Fixture: rule `r1-unchecked-panic` must fire on `unwrap`/`expect` in
+//! sim-logic library code.
+
+/// An event-loop-reachable path that dies on `None` instead of handling it.
+pub fn head(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}

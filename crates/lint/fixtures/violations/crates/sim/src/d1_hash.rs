@@ -1,0 +1,11 @@
+//! Fixture: rule `d1-std-hash` must fire on std hash collections in a
+//! sim-logic crate (this tree mimics `crates/sim/src/...`).
+
+use std::collections::HashMap;
+
+/// Nondeterministic bookkeeping that d1 must catch (twice: the import
+/// above and the field below).
+pub struct Seen {
+    /// Iteration order of this map depends on the process hasher seed.
+    pub by_node: HashMap<u32, u64>,
+}

@@ -1,0 +1,8 @@
+//! Fixture: rule `d2-wall-clock` must fire on wall-clock reads in
+//! library code (bin frontends and the bench crate are exempt).
+
+/// Returns a timestamp that differs every run — exactly what simulation
+/// logic must never observe.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

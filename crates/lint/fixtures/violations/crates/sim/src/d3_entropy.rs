@@ -1,0 +1,7 @@
+//! Fixture: rule `d3-ambient-entropy` must fire on OS-entropy draws.
+
+/// Ambient entropy: two runs with the same seed would diverge here.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+//! Fixture: a waived `r2-undocumented-panic` must NOT fire.
+
+/// Splits the interval.
+// peas-lint: allow(r2-undocumented-panic) -- fixture: assert is an internal sanity check being migrated to Result
+pub fn midpoint(lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "empty interval");
+    lo + (hi - lo) / 2
+}

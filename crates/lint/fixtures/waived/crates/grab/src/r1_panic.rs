@@ -1,0 +1,7 @@
+//! Fixture: a waived `r1-unchecked-panic` must NOT fire.
+
+/// Unwrap backed by a stated invariant.
+pub fn head(values: &[u32]) -> u32 {
+    // peas-lint: allow(r1-unchecked-panic) -- fixture: caller guarantees non-empty by construction
+    *values.first().unwrap()
+}

@@ -1,0 +1,11 @@
+//! Fixture: a waived `d1-std-hash` use must NOT fire (but counts as
+//! waived in the summary).
+
+// peas-lint: allow(d1-std-hash) -- fixture: pretend this map is never iterated and feeds no fingerprint
+use std::collections::HashMap;
+
+/// Nondeterministic map, explicitly waived at both sites.
+pub struct Seen {
+    /// Waived inline on the same line.
+    pub by_node: HashMap<u32, u64>, // peas-lint: allow(d1-std-hash) -- fixture: same-line waiver form
+}

@@ -1,0 +1,8 @@
+//! Fixture: a waived `d2-wall-clock` read must NOT fire.
+
+/// Waived wall-clock read (e.g. a deliberately real-time progress hook).
+// peas-lint: allow(d2-wall-clock) -- fixture: progress reporting only, never fed back into sim logic
+pub fn stamp() -> std::time::Instant {
+    // peas-lint: allow(d2-wall-clock) -- fixture: progress reporting only, never fed back into sim logic
+    std::time::Instant::now()
+}

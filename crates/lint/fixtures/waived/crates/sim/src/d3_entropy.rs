@@ -1,0 +1,9 @@
+//! Fixture: a waived `d3-ambient-entropy` draw must NOT fire.
+
+/// Waived entropy draw (e.g. seeding an operator-facing demo, recorded
+/// into the run header for replay).
+pub fn roll() -> u64 {
+    // peas-lint: allow(d3-ambient-entropy) -- fixture: seed is logged so the run stays replayable
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,56 @@
+//! # peas-lint — workspace determinism & robustness auditor
+//!
+//! PEAS's evaluation depends on bit-reproducible simulation runs: the
+//! golden fingerprints (`tests/golden.rs`) and the differential proptests
+//! only stay byte-identical if no nondeterminism leaks into sim logic.
+//! `peas-lint` *enforces* that discipline statically instead of hoping a
+//! test happens to catch a randomized iteration order.
+//!
+//! The rule set (see `LINTS.md` at the workspace root for the policy
+//! rationale and the waiver syntax):
+//!
+//! | rule | scope | what it forbids |
+//! |------|-------|-----------------|
+//! | `d1-std-hash` | sim-logic crates | `HashMap`/`HashSet` (randomized iteration order) |
+//! | `d2-wall-clock` | all but `bench` + bin frontends | `Instant::now`, `SystemTime`, `UNIX_EPOCH` |
+//! | `d3-ambient-entropy` | everywhere | `thread_rng`, `OsRng`, `RandomState`, ... |
+//! | `r1-unchecked-panic` | sim-logic library code | `.unwrap()` / `.expect(...)` |
+//! | `r2-undocumented-panic` | `des` + `sim` public API | panicking `pub fn` without a `# Panics` doc |
+//!
+//! Violations are waived in place with a justification:
+//!
+//! ```text
+//! // peas-lint: allow(r1-unchecked-panic) -- slot map invariant: id was handed out by us
+//! ```
+//!
+//! The binary (`cargo run -p peas-lint`) exits `0` on a clean workspace,
+//! `1` when any unwaived diagnostic fires, `2` on usage errors — so CI can
+//! gate on it directly. `--json` emits a machine-readable report.
+//!
+//! The analysis is lexical, not syntactic: sources are first run through
+//! [`sanitize::sanitize`], which blanks comments, strings and char
+//! literals, so pattern matches and the brace counting that delimits
+//! `#[cfg(test)]` modules and function bodies only ever see real code.
+//! That keeps the tool dependency-free (no syn/proc-macro stack) while
+//! staying byte-accurate about line/column positions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod rules;
+pub mod sanitize;
+pub mod walk;
+
+pub use report::{render_json, render_report};
+pub use rules::{scan_source, Diagnostic, FileCtx, FileKind, ScanResult, ALL_RULES};
+pub use walk::{run_lint, LintReport};
+
+/// The process exit code a report maps to (`0` clean, `1` violations).
+pub fn exit_code(report: &LintReport) -> i32 {
+    if report.is_clean() {
+        0
+    } else {
+        1
+    }
+}

@@ -1,0 +1,59 @@
+//! CLI frontend for `peas-lint` (see `lib.rs` / `LINTS.md` for the rules).
+//!
+//! ```text
+//! cargo run -p peas-lint               # human-readable, exit 1 on violations
+//! cargo run -p peas-lint -- --json     # machine-readable, same exit codes
+//! cargo run -p peas-lint -- --root X   # audit a different workspace root
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use peas_lint::{exit_code, render_json, render_report, run_lint};
+
+const USAGE: &str = "usage: peas-lint [--json] [--root <workspace-root>]
+
+Audits the PEAS workspace for determinism & robustness violations.
+Exit codes: 0 clean, 1 violations found, 2 usage/IO error.";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match run_lint(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", render_json(&report));
+            } else {
+                print!("{}", render_report(&report));
+            }
+            ExitCode::from(exit_code(&report) as u8)
+        }
+        Err(e) => {
+            eprintln!("peas-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Diagnostic rendering: rustc-style text for humans, JSON for CI.
+
+use crate::rules::Diagnostic;
+use crate::walk::LintReport;
+
+/// Renders one diagnostic in the familiar rustc error shape.
+pub fn render_human(d: &Diagnostic) -> String {
+    let gutter = d.line.to_string().len();
+    format!(
+        "error[{rule}]: {msg}\n{pad:>gutter$}--> {file}:{line}:{col}\n\
+         {pad:>gutter$} |\n{line:>gutter$} | {snippet}\n{pad:>gutter$} |\n",
+        rule = d.rule,
+        msg = d.message,
+        file = d.file,
+        line = d.line,
+        col = d.column,
+        snippet = d.snippet,
+        pad = "",
+        gutter = gutter + 1,
+    )
+}
+
+/// Renders the whole report for terminal consumption.
+pub fn render_report(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&render_human(d));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "peas-lint: {} violation{} ({} waived) across {} files\n",
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.waived,
+        report.files_scanned,
+    ));
+    out
+}
+
+/// Renders the report as a single JSON object (stable schema for CI).
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("{\"version\":1,\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"column\":{},\"message\":{},\"snippet\":{}}}",
+            json_str(d.rule),
+            json_str(&d.file),
+            d.line,
+            d.column,
+            json_str(&d.message),
+            json_str(&d.snippet),
+        ));
+    }
+    out.push_str(&format!(
+        "],\"summary\":{{\"violations\":{},\"waived\":{},\"files_scanned\":{}}}}}",
+        report.diagnostics.len(),
+        report.waived,
+        report.files_scanned,
+    ));
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "d1-std-hash",
+            file: "crates/sim/src/world.rs".to_string(),
+            line: 178,
+            column: 20,
+            message: "std hash collections iterate in randomized order".to_string(),
+            snippet: "event_reports: std::collections::HashSet<(u32, u64)>,".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_rendering_is_rustc_shaped() {
+        let text = render_human(&diag());
+        assert!(text.starts_with("error[d1-std-hash]:"));
+        assert!(text.contains("--> crates/sim/src/world.rs:178:20"));
+        assert!(text.contains("178 | event_reports:"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut d = diag();
+        d.snippet = "say \"hi\"\tand \\ done".to_string();
+        let report = LintReport {
+            diagnostics: vec![d],
+            waived: 2,
+            files_scanned: 5,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"say \\\"hi\\\"\\tand \\\\ done\""));
+        assert!(json.contains("\"summary\":{\"violations\":1,\"waived\":2,\"files_scanned\":5}"));
+        // Balanced braces outside strings is a cheap well-formedness proxy.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_report_renders_clean_summary() {
+        let report = LintReport::default();
+        let text = render_report(&report);
+        assert!(text.contains("0 violations"));
+        let json = render_json(&report);
+        assert!(json.contains("\"diagnostics\":[]"));
+    }
+}

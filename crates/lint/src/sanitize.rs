@@ -1,0 +1,222 @@
+//! Lexical sanitizer: blanks comments, string literals and char literals
+//! out of Rust source while preserving line structure.
+//!
+//! Every rule in `peas-lint` pattern-matches over *sanitized* text, so a
+//! diagnostic message that merely mentions `HashMap`, a doc example using
+//! `unwrap()`, or a `'{'` char literal can never produce a false positive
+//! (nor corrupt the brace counting used to delimit test modules and
+//! function bodies). Blanked spans are replaced with spaces of the same
+//! width; newlines are kept, so byte offsets of surviving code and all
+//! line numbers map 1:1 onto the original source.
+
+/// Returns `source` with comments, string literals and char literals
+/// replaced by spaces. Newlines (including those inside block comments
+/// and multi-line strings) are preserved.
+pub fn sanitize(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let n = b.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested per Rust's lexer.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"...", r#"..."#, br"...", br#"..."#.
+        if (c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r'))
+            && (i == 0 || !is_ident(b[i - 1]))
+        {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                out.resize(out.len() + (j - i + 1), ' ');
+                i = j + 1;
+                while i < n {
+                    if b[i] == '"' {
+                        let mut k = i + 1;
+                        let mut h = 0usize;
+                        while k < n && h < hashes && b[k] == '#' {
+                            h += 1;
+                            k += 1;
+                        }
+                        if h == hashes {
+                            out.resize(out.len() + (k - i), ' ');
+                            i = k;
+                            break;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+            // `r`/`br` not followed by a raw string: plain identifier chars.
+        }
+        // Cooked string, possibly a byte string b"...".
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(blank(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime. A quote opens a char literal when what
+        // follows is an escape sequence or a single char closed by a quote;
+        // otherwise it is a lifetime (`'a`) and passes through.
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                let mut j = i + 2;
+                if j < n && b[j] == 'u' {
+                    while j < n && b[j] != '}' {
+                        j += 1;
+                    }
+                    j += 1;
+                } else if j < n && b[j] == 'x' {
+                    j += 3;
+                } else {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    out.resize(out.len() + (j - i + 1), ' ');
+                    i = j + 1;
+                    continue;
+                }
+            } else if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                out.push(' ');
+                out.push(' ');
+                out.push(' ');
+                i += 3;
+                continue;
+            }
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// `true` for characters that can continue a Rust identifier.
+pub fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1;";
+        let s = sanitize(src);
+        assert!(!s.contains("HashMap"), "{s:?}");
+        assert!(s.contains("let y = 1;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let s = sanitize("/// call .unwrap() freely\npub fn f() {}");
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("pub fn f() {}"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_keep_newlines() {
+        let src = "a /* x /* y */ z\nstill comment */ b";
+        let s = sanitize(src);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.starts_with('a'));
+        assert!(s.ends_with('b'));
+        assert!(!s.contains('x') && !s.contains('z'));
+    }
+
+    #[test]
+    fn char_literals_do_not_break_brace_counting() {
+        let s = sanitize("if c == '{' || c == '}' { body('\\n'); }");
+        let opens = s.matches('{').count();
+        let closes = s.matches('}').count();
+        assert_eq!(opens, 1);
+        assert_eq!(closes, 1);
+        assert!(s.contains("body"));
+    }
+
+    #[test]
+    fn lifetimes_survive() {
+        let s = sanitize("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.contains("<'a>"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = sanitize(r###"let p = r#"thread_rng "quoted" {"#; let q = 2;"###);
+        assert!(!s.contains("thread_rng"));
+        assert!(s.contains("let q = 2;"));
+        assert_eq!(s.matches('{').count(), 0);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let s = sanitize("let q = '\\''; let brace = '{';");
+        assert_eq!(s.matches('{').count(), 0);
+        assert!(s.contains("let brace ="));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let s = \"line one\nInstant::now\n\"; done();";
+        let s = sanitize(src);
+        assert_eq!(s.lines().count(), 3);
+        assert!(!s.contains("Instant"));
+        assert!(s.contains("done();"));
+    }
+}

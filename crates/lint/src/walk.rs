@@ -1,0 +1,119 @@
+//! Workspace walker: discovers the Rust sources `peas-lint` audits.
+//!
+//! The layout is fixed by convention, not parsed from Cargo metadata (the
+//! tool must stay dependency-free): every directory under `<root>/crates/`
+//! is a crate whose name is the directory name, plus the workspace-root
+//! facade package (`<root>/src`, named `peas-repro`). Only `src/` trees
+//! are scanned — integration tests, benches, examples and fixtures are
+//! out of scope by design (see `LINTS.md`).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{scan_source, Diagnostic, FileCtx, FileKind};
+
+/// Aggregate result of auditing a workspace.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All violations, sorted by (file, line, column).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Matches suppressed by well-formed waivers.
+    pub waived: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// `true` when the workspace is clean (CI gate passes).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Audits the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns a message when `root` has no `crates/` directory or a source
+/// file cannot be read.
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} has no `crates/` directory — pass the workspace root via --root",
+            root.display()
+        ));
+    }
+    let mut report = LintReport::default();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        scan_src_tree(root, &dir.join("src"), &crate_name, &mut report)?;
+    }
+    // The facade package at the workspace root.
+    scan_src_tree(root, &root.join("src"), "peas-repro", &mut report)?;
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.column).cmp(&(&b.file, b.line, b.column)));
+    Ok(report)
+}
+
+fn scan_src_tree(
+    root: &Path,
+    src: &Path,
+    crate_name: &str,
+    report: &mut LintReport,
+) -> Result<(), String> {
+    if !src.is_dir() {
+        return Ok(());
+    }
+    let mut files = Vec::new();
+    collect_rs_files(src, &mut files).map_err(|e| format!("walking {}: {e}", src.display()))?;
+    files.sort();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let in_src = file.strip_prefix(src).unwrap_or(&file);
+        let kind = if in_src.starts_with("bin") || in_src == Path::new("main.rs") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        };
+        let ctx = FileCtx {
+            crate_name: crate_name.to_string(),
+            rel_path: rel,
+            kind,
+        };
+        let source =
+            fs::read_to_string(&file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let result = scan_source(&ctx, &source);
+        report.files_scanned += 1;
+        report.waived += result.waived;
+        report.diagnostics.extend(result.diagnostics);
+    }
+    Ok(())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

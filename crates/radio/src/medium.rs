@@ -335,6 +335,7 @@ impl Medium {
                         }
                     }
                     let end = u32::try_from(t.rows.len())
+                        // peas-lint: allow(r1-unchecked-panic) -- u32 offsets are a deliberate CSR size cap; >4G edges means a misconfigured scenario
                         .expect("more than u32::MAX decode rows in one class");
                     t.offsets.push(end);
                 }
@@ -589,6 +590,7 @@ impl Medium {
         let pos = list
             .iter()
             .position(|a| a.slot == slot)
+            // peas-lint: allow(r1-unchecked-panic) -- markers are added on start_broadcast and removed exactly once on complete/abort
             .expect("arrival bookkeeping out of sync");
         list.swap_remove(pos);
     }

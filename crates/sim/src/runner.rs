@@ -16,6 +16,10 @@ pub fn run_one(config: ScenarioConfig) -> RunReport {
 }
 
 /// Runs the scenario once per seed (the paper uses 5 seeds per point).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
 pub fn run_seeds(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
     assert!(!seeds.is_empty(), "need at least one seed");
     seeds
@@ -28,6 +32,10 @@ pub fn run_seeds(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
 /// OS threads (see [`run_configs_parallel`]). Each run is fully independent
 /// (its own world, RNG streams and medium), so the reports are identical to
 /// the serial version's — only wall time changes.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
 pub fn run_seeds_parallel(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
     assert!(!seeds.is_empty(), "need at least one seed");
     run_configs_parallel(
@@ -46,6 +54,11 @@ pub fn run_seeds_parallel(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunRepo
 /// job from a shared counter, so a slow run never leaves cores idle while
 /// work remains. With a single core (or a single job) the jobs simply run
 /// on the caller's thread.
+///
+/// # Panics
+///
+/// Panics if any individual run panics (worker panics propagate through
+/// [`std::thread::scope`]) — e.g. when a config fails validation.
 pub fn run_configs_parallel(configs: Vec<ScenarioConfig>) -> Vec<RunReport> {
     let workers = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
@@ -69,6 +82,7 @@ pub fn run_configs_parallel(configs: Vec<ScenarioConfig>) -> Vec<RunReport> {
     });
     slots
         .into_iter()
+        // peas-lint: allow(r1-unchecked-panic) -- scope join guarantees every claimed slot was filled; the shared counter claims each exactly once
         .map(|slot| slot.into_inner().expect("worker pool dropped a job"))
         .collect()
 }
