@@ -14,6 +14,7 @@
 //! | `d1-std-hash` | sim-logic crates | `HashMap`/`HashSet` (randomized iteration order) |
 //! | `d2-wall-clock` | all but `bench` + bin frontends | `Instant::now`, `SystemTime`, `UNIX_EPOCH` |
 //! | `d3-ambient-entropy` | everywhere | `thread_rng`, `OsRng`, `RandomState`, ... |
+//! | `d4-scenario-drift` | `scenarios/*.peas` | scenario files no test, bench, example or scenario references |
 //! | `r1-unchecked-panic` | sim-logic library code | `.unwrap()` / `.expect(...)` |
 //! | `r2-undocumented-panic` | `des` + `sim` public API | panicking `pub fn` without a `# Panics` doc |
 //!
@@ -40,6 +41,7 @@
 pub mod report;
 pub mod rules;
 pub mod sanitize;
+mod scenario_drift;
 pub mod walk;
 
 pub use report::{render_json, render_report};

@@ -19,8 +19,17 @@
 use crate::sanitize::{is_ident, sanitize};
 
 /// Crates that hold simulation logic: anything here feeds the event loop
-/// and therefore the golden fingerprints.
-pub const SIM_LOGIC_CRATES: &[&str] = &["des", "sim", "radio", "grab", "geom", "baselines"];
+/// and therefore the golden fingerprints. `scenario` belongs here because
+/// its compiler produces the configs those fingerprints are pinned to.
+pub const SIM_LOGIC_CRATES: &[&str] = &[
+    "des",
+    "sim",
+    "radio",
+    "grab",
+    "geom",
+    "baselines",
+    "scenario",
+];
 
 /// Crates whose public API surface must document panics (R2).
 pub const PANIC_DOC_CRATES: &[&str] = &["des", "sim"];
@@ -31,6 +40,9 @@ pub const D1: &str = "d1-std-hash";
 pub const D2: &str = "d2-wall-clock";
 /// Rule: forbid ambient (OS) entropy everywhere.
 pub const D3: &str = "d3-ambient-entropy";
+/// Rule: every committed scenario file must be referenced by a test,
+/// bench binary, example or another scenario (no dead experiments).
+pub const D4: &str = "d4-scenario-drift";
 /// Rule: forbid `unwrap`/`expect` in sim-logic library code.
 pub const R1: &str = "r1-unchecked-panic";
 /// Rule: public functions in `des`/`sim` that can panic must say so.
@@ -39,7 +51,7 @@ pub const R2: &str = "r2-undocumented-panic";
 pub const W0: &str = "w0-waiver-without-reason";
 
 /// All enforceable rule ids (what `allow(...)` may name).
-pub const ALL_RULES: &[&str] = &[D1, D2, D3, R1, R2];
+pub const ALL_RULES: &[&str] = &[D1, D2, D3, D4, R1, R2];
 
 /// Where a source file sits in its crate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -155,9 +167,10 @@ fn rule_applies(id: &str, ctx: &FileCtx) -> bool {
     }
 }
 
-/// A waiver parsed from a `// peas-lint: allow(...) -- reason` comment.
+/// A waiver parsed from a `// peas-lint: allow(...) -- reason` comment
+/// (or `# peas-lint: ...` in scenario files).
 #[derive(Clone, Debug)]
-enum Waiver {
+pub(crate) enum Waiver {
     /// Well-formed: the named rules are waived.
     Allow(Vec<String>),
     /// `allow(...)` present but the `-- reason` is missing or empty.
@@ -165,11 +178,17 @@ enum Waiver {
 }
 
 fn parse_waiver(line: &str) -> Option<Waiver> {
+    parse_comment_waiver(line, "//")
+}
+
+/// Waiver parsing parameterized over the comment leader, shared with the
+/// scenario-drift scan (`.peas` files comment with `#`).
+pub(crate) fn parse_comment_waiver(line: &str, comment: &str) -> Option<Waiver> {
     let marker = "peas-lint:";
     let at = line.find(marker)?;
     // Must live in a comment, not in code (string literals never reach
     // here because waiver parsing only consults comment syntax).
-    if !line[..at].contains("//") {
+    if !line[..at].contains(comment) {
         return None;
     }
     let rest = line[at + marker.len()..].trim_start();

@@ -1,0 +1,150 @@
+//! D4 `d4-scenario-drift`: no dead experiments.
+//!
+//! Every `.peas` file committed under `<root>/scenarios/` must be
+//! *referenced* — its file name (with extension) appearing literally — in
+//! at least one of:
+//!
+//! - an integration test under `<root>/tests/`,
+//! - a bench source under `<root>/crates/bench/src/` (the `scenario`
+//!   driver and the paper binaries),
+//! - an example (`<root>/examples/*.rs` or a sibling `.peas`),
+//! - another scenario file (an `extends` chain keeps a base alive).
+//!
+//! Golden snapshots (`scenarios/golden/*.golden`) are *outputs*, not
+//! references — a scenario only a snapshot knows about is exactly the
+//! drift this rule exists to catch: an experiment nothing runs anymore.
+//!
+//! A retired scenario that is deliberately kept can waive the rule in
+//! place with the scenario-comment form of the usual waiver:
+//!
+//! ```text
+//! # peas-lint: allow(d4-scenario-drift) -- kept for the 2026 rerun writeup
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{parse_comment_waiver, Diagnostic, Waiver, D4, W0};
+use crate::walk::LintReport;
+
+/// Directories (relative to the workspace root) whose sources count as
+/// scenario references, with the extension scanned in each.
+const REFERENCE_TREES: &[(&str, &str)] = &[
+    ("tests", "rs"),
+    ("crates/bench/src", "rs"),
+    ("examples", "rs"),
+    ("examples", "peas"),
+];
+
+/// Audits `<root>/scenarios/` for unreferenced scenario files. A missing
+/// `scenarios/` directory is fine (not every checkout has a corpus).
+///
+/// # Errors
+///
+/// Returns a message when a directory or file under audit cannot be read.
+pub(crate) fn scan_scenarios(root: &Path, report: &mut LintReport) -> Result<(), String> {
+    let dir = root.join("scenarios");
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut scenario_files = Vec::new();
+    collect_ext(&dir, "peas", &mut scenario_files)
+        .map_err(|e| format!("walking {}: {e}", dir.display()))?;
+    scenario_files.sort();
+
+    // The reference corpus: (path, contents) of everything that may name
+    // a scenario file. Scenario files themselves are included so
+    // `extends` chains keep their bases alive.
+    let mut references: Vec<(PathBuf, String)> = Vec::new();
+    for (sub, ext) in REFERENCE_TREES {
+        let tree = root.join(sub);
+        if !tree.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_ext(&tree, ext, &mut files)
+            .map_err(|e| format!("walking {}: {e}", tree.display()))?;
+        for file in files {
+            let text = fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            references.push((file, text));
+        }
+    }
+    for file in &scenario_files {
+        let text =
+            fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        references.push((file.clone(), text));
+    }
+
+    for file in &scenario_files {
+        let Some(name) = file.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = references
+            .iter()
+            .find(|(p, _)| p == file)
+            .map(|(_, text)| text.clone())
+            .unwrap_or_default();
+
+        // Scenario-file waivers use `#` comments; a waiver without a
+        // reason is a W0 diagnostic exactly as in Rust sources.
+        let mut waives_d4 = false;
+        for (i, line) in source.lines().enumerate() {
+            match parse_comment_waiver(line, "#") {
+                Some(Waiver::Allow(rules)) if rules.iter().any(|r| r == D4) => waives_d4 = true,
+                Some(Waiver::MissingReason) => report.diagnostics.push(Diagnostic {
+                    rule: W0,
+                    file: rel.clone(),
+                    line: i + 1,
+                    column: 1,
+                    message: "waiver has no justification: write \
+                              `# peas-lint: allow(<rule>) -- <reason>`"
+                        .to_string(),
+                    snippet: line.trim().to_string(),
+                }),
+                _ => {}
+            }
+        }
+
+        let referenced = references
+            .iter()
+            .any(|(path, text)| path != file && text.contains(&name));
+        if referenced {
+            continue;
+        }
+        if waives_d4 {
+            report.waived += 1;
+        } else {
+            report.diagnostics.push(Diagnostic {
+                rule: D4,
+                file: rel,
+                line: 1,
+                column: 1,
+                message: format!(
+                    "scenario `{name}` is referenced by no test, bench source, example or \
+                     other scenario; wire it into the conformance corpus or delete it"
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn collect_ext(dir: &Path, ext: &str, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_ext(&path, ext, out)?;
+        } else if path.extension().is_some_and(|e| e == ext) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

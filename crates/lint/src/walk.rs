@@ -12,6 +12,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::rules::{scan_source, Diagnostic, FileCtx, FileKind};
+use crate::scenario_drift::scan_scenarios;
 
 /// Aggregate result of auditing a workspace.
 #[derive(Clone, Debug, Default)]
@@ -61,6 +62,8 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
     }
     // The facade package at the workspace root.
     scan_src_tree(root, &root.join("src"), "peas-repro", &mut report)?;
+    // D4: the scenario corpus must not accumulate dead experiments.
+    scan_scenarios(root, &mut report)?;
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.column).cmp(&(&b.file, b.line, b.column)));

@@ -1,0 +1,345 @@
+//! The scenario-document AST.
+//!
+//! A parsed `.peas` file is a [`ScenarioDoc`]: an optional `extends`
+//! declaration followed by ordered sections of ordered `key = value`
+//! entries. Every node carries a [`Span`] so schema errors reported at
+//! compile time still point at the author's source line; equality
+//! ([`PartialEq`]) deliberately *ignores* spans so the printer/parser
+//! round-trip property (`parse(print(doc)) == doc`) compares structure,
+//! not layout.
+
+use peas_des::time::SimDuration;
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters).
+    pub column: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(line: usize, column: usize) -> Span {
+        Span { line, column }
+    }
+}
+
+/// A typed scalar or (flat) list value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A signed integer, e.g. `480`.
+    Int(i64),
+    /// A float, e.g. `10.66`.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A double-quoted string, e.g. `"uniform"`.
+    Str(String),
+    /// A duration with a unit suffix, e.g. `25s` or `150ms`.
+    Duration(SimDuration),
+    /// A flat list of scalars, e.g. `[160, 320, 480]`.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable type name for diagnostics ("an integer", ...).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Bool(_) => "a boolean",
+            Value::Str(_) => "a string",
+            Value::Duration(_) => "a duration",
+            Value::List(_) => "a list",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality with *bitwise* float comparison, so round-trip
+    /// tests distinguish `-0.0` from `0.0` and never stumble over NaN.
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Duration(a), Value::Duration(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// The canonical source form the printer emits (and the parser
+    /// accepts back unchanged).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            // `{:?}` is Rust's shortest-roundtrip float form ("10.66",
+            // "1.0", "1e300"): parsing it recovers the exact bits.
+            Value::Float(x) => write!(f, "{x:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Duration(d) => write!(f, "{}", print_duration(*d)),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Prints a duration in its largest exact integer unit, so the printed
+/// form parses back to the identical nanosecond count.
+fn print_duration(d: SimDuration) -> String {
+    let nanos = d.as_nanos();
+    if nanos.is_multiple_of(1_000_000_000) {
+        format!("{}s", nanos / 1_000_000_000)
+    } else if nanos.is_multiple_of(1_000_000) {
+        format!("{}ms", nanos / 1_000_000)
+    } else if nanos.is_multiple_of(1_000) {
+        format!("{}us", nanos / 1_000)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// One `key = value` line.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// The key left of `=`.
+    pub key: String,
+    /// The parsed value.
+    pub value: Value,
+    /// Where the key starts.
+    pub span: Span,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.key == other.key && self.value == other.value
+    }
+}
+
+/// One `[name]` section and its entries.
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// The name between the brackets.
+    pub name: String,
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+    /// Where the header starts.
+    pub span: Span,
+}
+
+impl PartialEq for Section {
+    fn eq(&self, other: &Section) -> bool {
+        self.name == other.name && self.entries == other.entries
+    }
+}
+
+impl Section {
+    /// Looks up an entry by key.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A top-level `extends = "file.peas"` declaration.
+#[derive(Clone, Debug)]
+pub struct Extends {
+    /// The referenced file, relative to the current file's directory.
+    pub path: String,
+    /// Where the `extends` key starts.
+    pub span: Span,
+}
+
+impl PartialEq for Extends {
+    fn eq(&self, other: &Extends) -> bool {
+        self.path == other.path
+    }
+}
+
+/// A whole parsed scenario document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScenarioDoc {
+    /// Optional inheritance declaration (must precede all sections).
+    pub extends: Option<Extends>,
+    /// Sections in file order.
+    pub sections: Vec<Section>,
+}
+
+impl Default for Span {
+    fn default() -> Span {
+        Span { line: 1, column: 1 }
+    }
+}
+
+impl ScenarioDoc {
+    /// Looks up a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Overlays `child` on top of `base` (the `extends` semantics): base
+    /// sections keep their order, child entries override base entries
+    /// key-by-key (taking the child's value and span), child-only keys and
+    /// sections are appended in child order. The result has no `extends`.
+    pub fn merge_over(base: &ScenarioDoc, child: &ScenarioDoc) -> ScenarioDoc {
+        let mut sections: Vec<Section> = base.sections.clone();
+        for child_section in &child.sections {
+            match sections.iter_mut().find(|s| s.name == child_section.name) {
+                Some(merged) => {
+                    for entry in &child_section.entries {
+                        match merged.entries.iter_mut().find(|e| e.key == entry.key) {
+                            Some(slot) => *slot = entry.clone(),
+                            None => merged.entries.push(entry.clone()),
+                        }
+                    }
+                }
+                None => sections.push(child_section.clone()),
+            }
+        }
+        ScenarioDoc {
+            extends: None,
+            sections,
+        }
+    }
+
+    /// Sets (or inserts) `[section].key = value`, creating the section if
+    /// absent. Used by sweep expansion to move along the sweep axis.
+    pub fn set_key(&mut self, section: &str, key: &str, value: Value) {
+        let slot = match self.sections.iter_mut().find(|s| s.name == section) {
+            Some(s) => s,
+            None => {
+                self.sections.push(Section {
+                    name: section.to_string(),
+                    entries: Vec::new(),
+                    span: Span::default(),
+                });
+                // peas-lint: allow(r1-unchecked-panic) -- the section was pushed on the line above
+                self.sections.last_mut().unwrap()
+            }
+        };
+        match slot.entries.iter_mut().find(|e| e.key == key) {
+            Some(entry) => entry.value = value,
+            None => slot.entries.push(Entry {
+                key: key.to_string(),
+                value,
+                span: Span::default(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_equality_ignores_spans_but_not_bits() {
+        assert_eq!(Value::Float(1.5), Value::Float(1.5));
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(
+            Entry {
+                key: "a".into(),
+                value: Value::Int(1),
+                span: Span::new(1, 1)
+            },
+            Entry {
+                key: "a".into(),
+                value: Value::Int(1),
+                span: Span::new(9, 9)
+            }
+        );
+    }
+
+    #[test]
+    fn duration_display_uses_largest_exact_unit() {
+        assert_eq!(
+            Value::Duration(SimDuration::from_secs(25)).to_string(),
+            "25s"
+        );
+        assert_eq!(
+            Value::Duration(SimDuration::from_millis(1500)).to_string(),
+            "1500ms"
+        );
+        assert_eq!(
+            Value::Duration(SimDuration::from_nanos(1_001)).to_string(),
+            "1001ns"
+        );
+        assert_eq!(
+            Value::Duration(SimDuration::from_micros(7)).to_string(),
+            "7us"
+        );
+    }
+
+    #[test]
+    fn merge_overrides_per_key_and_appends_new() {
+        let base = ScenarioDoc {
+            extends: None,
+            sections: vec![Section {
+                name: "peas".into(),
+                span: Span::default(),
+                entries: vec![
+                    Entry {
+                        key: "probing_range".into(),
+                        value: Value::Float(3.0),
+                        span: Span::default(),
+                    },
+                    Entry {
+                        key: "probe_count".into(),
+                        value: Value::Int(3),
+                        span: Span::default(),
+                    },
+                ],
+            }],
+        };
+        let child = ScenarioDoc {
+            extends: None,
+            sections: vec![
+                Section {
+                    name: "peas".into(),
+                    span: Span::default(),
+                    entries: vec![Entry {
+                        key: "probing_range".into(),
+                        value: Value::Float(6.0),
+                        span: Span::default(),
+                    }],
+                },
+                Section {
+                    name: "failures".into(),
+                    span: Span::default(),
+                    entries: vec![Entry {
+                        key: "rate_per_5000s".into(),
+                        value: Value::Float(48.0),
+                        span: Span::default(),
+                    }],
+                },
+            ],
+        };
+        let merged = ScenarioDoc::merge_over(&base, &child);
+        assert_eq!(merged.sections.len(), 2);
+        let peas = merged.section("peas").expect("peas kept");
+        assert_eq!(
+            peas.get("probing_range").map(|e| &e.value),
+            Some(&Value::Float(6.0))
+        );
+        assert_eq!(
+            peas.get("probe_count").map(|e| &e.value),
+            Some(&Value::Int(3))
+        );
+        assert!(merged.section("failures").is_some());
+    }
+}

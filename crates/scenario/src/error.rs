@@ -1,0 +1,70 @@
+//! Error type shared by the loader and the schema compiler.
+
+use crate::ast::Span;
+use crate::parse::ParseError;
+use std::fmt;
+
+/// A scenario-level failure (parse, schema or load), pointing at the
+/// offending file, line and column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// The file the error originates from, when known.
+    pub file: Option<String>,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// Stable, author-facing description.
+    pub message: String,
+}
+
+impl ScenarioError {
+    /// Builds an error at a source span.
+    pub fn at(span: Span, message: impl Into<String>) -> ScenarioError {
+        ScenarioError {
+            file: None,
+            line: span.line,
+            column: span.column,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a whole-document error (anchored at line 1, column 1).
+    pub fn whole_doc(message: impl Into<String>) -> ScenarioError {
+        ScenarioError::at(Span::new(1, 1), message)
+    }
+
+    /// Attaches the file the error came from (keeps an existing one).
+    pub fn with_file(mut self, file: impl Into<String>) -> ScenarioError {
+        if self.file.is_none() {
+            self.file = Some(file.into());
+        }
+        self
+    }
+}
+
+impl From<ParseError> for ScenarioError {
+    fn from(e: ParseError) -> ScenarioError {
+        ScenarioError {
+            file: None,
+            line: e.line,
+            column: e.column,
+            message: e.message,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.file {
+            Some(file) => write!(
+                f,
+                "{}:{}:{}: {}",
+                file, self.line, self.column, self.message
+            ),
+            None => write!(f, "{}:{}: {}", self.line, self.column, self.message),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}

@@ -1,0 +1,165 @@
+//! File loading and `extends` resolution.
+//!
+//! A scenario file may start with `extends = "other.peas"`; the referenced
+//! file (resolved relative to the extending file's directory) is loaded
+//! first and the child is overlaid on it with
+//! [`ScenarioDoc::merge_over`]. Chains may be arbitrarily deep; cycles are
+//! detected and reported with the full chain in the message.
+
+use crate::ast::ScenarioDoc;
+use crate::compile::{compile, CompiledScenario};
+use crate::error::ScenarioError;
+use crate::parse::parse;
+use std::path::{Path, PathBuf};
+
+/// Parses a standalone scenario source that must not use `extends`
+/// (tests and in-memory callers with no directory to resolve against).
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] on parse failure or if the source declares
+/// `extends`.
+pub fn load_str(src: &str) -> Result<ScenarioDoc, ScenarioError> {
+    let doc = parse(src).map_err(ScenarioError::from)?;
+    if let Some(ext) = &doc.extends {
+        return Err(ScenarioError::at(
+            ext.span,
+            format!(
+                "`extends = \"{}\"` cannot be resolved without a file path (load from a file instead)",
+                ext.path
+            ),
+        ));
+    }
+    Ok(doc)
+}
+
+/// Loads a scenario file and flattens its whole `extends` chain into a
+/// single document (no `extends` left).
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] (tagged with the offending file) on I/O
+/// failure, parse failure, or a cyclic `extends` chain.
+pub fn load_path(path: &Path) -> Result<ScenarioDoc, ScenarioError> {
+    let mut chain: Vec<PathBuf> = Vec::new();
+    load_rec(path, &mut chain)
+}
+
+/// Loads, flattens and compiles a scenario file. The default scenario
+/// name is the file stem.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] from loading (see [`load_path`]) or from
+/// schema compilation, tagged with the file it came from.
+pub fn load_compiled(path: &Path) -> Result<CompiledScenario, ScenarioError> {
+    let doc = load_path(path)?;
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "scenario".to_string());
+    compile(&doc, &stem).map_err(|e| e.with_file(path.display().to_string()))
+}
+
+/// Display name used in cycle diagnostics: the file name if present,
+/// else the whole path.
+fn short_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// The identity used for cycle detection; canonicalization defeats
+/// `../`-style aliases where the file exists.
+fn identity(path: &Path) -> PathBuf {
+    path.canonicalize().unwrap_or_else(|_| path.to_path_buf())
+}
+
+fn load_rec(path: &Path, chain: &mut Vec<PathBuf>) -> Result<ScenarioDoc, ScenarioError> {
+    let id = identity(path);
+    if chain.contains(&id) {
+        let mut names: Vec<String> = chain.iter().map(|p| short_name(p)).collect();
+        names.push(short_name(&id));
+        return Err(ScenarioError::whole_doc(format!(
+            "cyclic `extends` chain: {}",
+            names.join(" -> ")
+        ))
+        .with_file(path.display().to_string()));
+    }
+
+    let src = std::fs::read_to_string(path).map_err(|e| {
+        ScenarioError::whole_doc(format!("cannot read scenario file: {e}"))
+            .with_file(path.display().to_string())
+    })?;
+    let doc =
+        parse(&src).map_err(|e| ScenarioError::from(e).with_file(path.display().to_string()))?;
+
+    let Some(ext) = &doc.extends else {
+        return Ok(doc);
+    };
+
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    let base_path = parent.join(&ext.path);
+    chain.push(id);
+    let base = load_rec(&base_path, chain)?;
+    chain.pop();
+    Ok(ScenarioDoc::merge_over(&base, &doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    /// A scratch directory under the target dir, unique per test.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/scenario-loader-tests")
+            .join(name);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn extends_chain_flattens_child_over_base() {
+        let dir = scratch("chain");
+        fs::write(
+            dir.join("base.peas"),
+            "[deployment]\ncount = 160\n\n[peas]\nprobing_range = 3.0\n",
+        )
+        .expect("write base");
+        fs::write(
+            dir.join("child.peas"),
+            "extends = \"base.peas\"\n\n[peas]\nprobing_range = 6.0\n",
+        )
+        .expect("write child");
+        let doc = load_path(&dir.join("child.peas")).expect("loads");
+        assert!(doc.extends.is_none());
+        let peas = doc.section("peas").expect("peas section");
+        assert_eq!(
+            peas.get("probing_range").map(|e| &e.value),
+            Some(&crate::ast::Value::Float(6.0))
+        );
+        assert!(doc.section("deployment").is_some());
+    }
+
+    #[test]
+    fn cyclic_extends_is_reported_with_the_chain() {
+        let dir = scratch("cycle");
+        fs::write(dir.join("a.peas"), "extends = \"b.peas\"\n").expect("write a");
+        fs::write(dir.join("b.peas"), "extends = \"a.peas\"\n").expect("write b");
+        let err = load_path(&dir.join("a.peas")).expect_err("cycle detected");
+        assert_eq!(
+            err.message,
+            "cyclic `extends` chain: a.peas -> b.peas -> a.peas"
+        );
+    }
+
+    #[test]
+    fn load_str_rejects_extends() {
+        let err = load_str("extends = \"base.peas\"\n").expect_err("rejected");
+        assert!(err
+            .message
+            .contains("cannot be resolved without a file path"));
+    }
+}

@@ -1,0 +1,527 @@
+//! The hand-rolled `.peas` parser.
+//!
+//! The language is deliberately small and line-oriented:
+//!
+//! ```text
+//! # comment (anywhere, to end of line)
+//! extends = "base-paper.peas"     # optional, before any section
+//!
+//! [section]
+//! key = value
+//! ```
+//!
+//! Values are typed by shape: `480` (integer), `10.66` (float), `true`
+//! (boolean), `"uniform"` (string), `25s` / `150ms` / `40us` / `7ns`
+//! (duration) and `[160, 320, 480]` (flat list of scalars). Every error
+//! carries the 1-based line and column of the offending token and a
+//! stable, author-facing message.
+
+use crate::ast::{Entry, Extends, ScenarioDoc, Section, Span, Value};
+use peas_des::time::SimDuration;
+use std::fmt;
+
+/// A parse failure with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// Stable, author-facing description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, column: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        column,
+        message: message.into(),
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Strips a `#`-to-end-of-line comment, respecting double-quoted strings
+/// (a `#` inside quotes is content, not a comment).
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// One line's characters plus position bookkeeping.
+struct Cursor<'a> {
+    chars: Vec<char>,
+    line: usize,
+    /// 0-based index into `chars`; column = pos + 1.
+    pos: usize,
+    /// Unused marker tying the cursor to its source line.
+    _src: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line_text: &'a str, line: usize) -> Cursor<'a> {
+        Cursor {
+            chars: line_text.chars().collect(),
+            line,
+            pos: 0,
+            _src: std::marker::PhantomData,
+        }
+    }
+
+    fn col(&self) -> usize {
+        self.pos + 1
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    /// Consumes an identifier; errors with `what` on a bad start char.
+    fn ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        let span = Span::new(self.line, self.col());
+        match self.peek() {
+            Some(c) if is_ident_start(c) => {}
+            _ => return Err(err(self.line, self.col(), format!("expected {what}"))),
+        }
+        let mut out = String::new();
+        while matches!(self.peek(), Some(c) if is_ident_char(c)) {
+            // peas-lint: allow(r1-unchecked-panic) -- peek() just returned Some for this position
+            out.push(self.bump().unwrap());
+        }
+        Ok((out, span))
+    }
+}
+
+/// Parses a whole document.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered, pointing at the line and
+/// column of the offending token.
+pub fn parse(src: &str) -> Result<ScenarioDoc, ParseError> {
+    let mut doc = ScenarioDoc::default();
+    let mut current: Option<Section> = None;
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let text = strip_comment(raw_line);
+        if text.trim().is_empty() {
+            continue;
+        }
+        let mut cur = Cursor::new(text, line_no);
+        cur.skip_ws();
+
+        if cur.peek() == Some('[') {
+            let header_span = Span::new(line_no, cur.col());
+            cur.bump();
+            let (name, _) = cur.ident("a section name after `[`")?;
+            if cur.peek() != Some(']') {
+                return Err(err(
+                    line_no,
+                    cur.col(),
+                    "expected `]` to close the section header",
+                ));
+            }
+            cur.bump();
+            cur.skip_ws();
+            if !cur.at_end() {
+                return Err(err(
+                    line_no,
+                    cur.col(),
+                    "unexpected characters after the section header",
+                ));
+            }
+            if doc.sections.iter().any(|s| s.name == name)
+                || current.as_ref().is_some_and(|s| s.name == name)
+            {
+                return Err(err(
+                    header_span.line,
+                    header_span.column,
+                    format!("duplicate section [{name}]"),
+                ));
+            }
+            if let Some(done) = current.take() {
+                doc.sections.push(done);
+            }
+            current = Some(Section {
+                name,
+                entries: Vec::new(),
+                span: header_span,
+            });
+            continue;
+        }
+
+        let (key, key_span) = cur.ident("a key or a `[section]` header")?;
+        cur.skip_ws();
+        if cur.peek() != Some('=') {
+            return Err(err(
+                line_no,
+                cur.col(),
+                format!("expected `=` after key `{key}`"),
+            ));
+        }
+        cur.bump();
+        cur.skip_ws();
+        let value = parse_value(&mut cur, true)?;
+        cur.skip_ws();
+        if !cur.at_end() {
+            return Err(err(
+                line_no,
+                cur.col(),
+                "unexpected characters after the value",
+            ));
+        }
+
+        match current.as_mut() {
+            Some(section) => {
+                if section.entries.iter().any(|e| e.key == key) {
+                    return Err(err(
+                        key_span.line,
+                        key_span.column,
+                        format!("duplicate key `{}` in [{}]", key, section.name),
+                    ));
+                }
+                section.entries.push(Entry {
+                    key,
+                    value,
+                    span: key_span,
+                });
+            }
+            None if key == "extends" => {
+                if doc.extends.is_some() {
+                    return Err(err(
+                        key_span.line,
+                        key_span.column,
+                        "duplicate `extends` declaration",
+                    ));
+                }
+                match value {
+                    Value::Str(path) => {
+                        doc.extends = Some(Extends {
+                            path,
+                            span: key_span,
+                        })
+                    }
+                    other => {
+                        return Err(err(
+                            key_span.line,
+                            key_span.column,
+                            format!(
+                                "`extends` takes a quoted file name, found {}",
+                                other.type_name()
+                            ),
+                        ))
+                    }
+                }
+            }
+            None => {
+                return Err(err(
+                    key_span.line,
+                    key_span.column,
+                    format!(
+                    "key `{key}` outside any section (expected `extends` or a `[section]` header)"
+                ),
+                ))
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        doc.sections.push(done);
+    }
+    Ok(doc)
+}
+
+/// Parses one value (list or scalar). `allow_list` is false inside lists,
+/// keeping them flat.
+fn parse_value(cur: &mut Cursor<'_>, allow_list: bool) -> Result<Value, ParseError> {
+    match cur.peek() {
+        Some('[') if allow_list => parse_list(cur),
+        Some('[') => Err(err(cur.line, cur.col(), "nested lists are not supported")),
+        Some('"') => parse_string(cur),
+        Some(_) => parse_scalar_token(cur),
+        None => Err(err(cur.line, cur.col(), "expected a value")),
+    }
+}
+
+fn parse_list(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
+    cur.bump(); // consume '['
+    let mut items = Vec::new();
+    loop {
+        cur.skip_ws();
+        if cur.peek() == Some(']') {
+            cur.bump();
+            return Ok(Value::List(items));
+        }
+        if cur.at_end() {
+            return Err(err(cur.line, cur.col(), "unterminated list: expected `]`"));
+        }
+        items.push(parse_value(cur, false)?);
+        cur.skip_ws();
+        match cur.peek() {
+            Some(',') => {
+                cur.bump();
+            }
+            Some(']') => {}
+            _ => return Err(err(cur.line, cur.col(), "expected `,` or `]` in list")),
+        }
+    }
+}
+
+fn parse_string(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
+    let start_col = cur.col();
+    cur.bump(); // consume the opening quote
+    let mut out = String::new();
+    loop {
+        match cur.bump() {
+            Some('"') => return Ok(Value::Str(out)),
+            Some(c) => out.push(c),
+            None => return Err(err(cur.line, start_col, "unterminated string literal")),
+        }
+    }
+}
+
+/// Duration unit suffixes, longest first so `ms` wins over `s`.
+const DURATION_UNITS: [(&str, u64); 4] = [
+    ("ns", 1),
+    ("us", 1_000),
+    ("ms", 1_000_000),
+    ("s", 1_000_000_000),
+];
+
+fn parse_scalar_token(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
+    let start_col = cur.col();
+    let mut token = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_whitespace() || c == ',' || c == ']' {
+            break;
+        }
+        token.push(c);
+        cur.bump();
+    }
+    let line = cur.line;
+    if token.is_empty() {
+        return Err(err(line, start_col, "expected a value"));
+    }
+    if token == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if token == "false" {
+        return Ok(Value::Bool(false));
+    }
+    let first = token.chars().next().unwrap_or(' ');
+    if !(first.is_ascii_digit() || first == '-' || first == '+' || first == '.') {
+        return Err(err(
+            line,
+            start_col,
+            format!("expected a value, found `{token}`"),
+        ));
+    }
+
+    // A trailing alphabetic run makes this a duration candidate — except
+    // for scientific notation ("1e5" ends in a digit, never lands here).
+    let suffix_len = token
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .count();
+    if suffix_len > 0 {
+        let split = token.len() - suffix_len;
+        let (number, suffix) = token.split_at(split);
+        // "1e" or "-e3"-style fragments: the numeric part must be nonempty
+        // and must not itself end mid-exponent.
+        if let Some(&(_, nanos_per_unit)) = DURATION_UNITS.iter().find(|(u, _)| *u == suffix) {
+            return parse_duration(number, nanos_per_unit, line, start_col, &token);
+        }
+        return Err(err(
+            line,
+            start_col,
+            format!("unknown unit suffix `{suffix}` in `{token}` (expected ns, us, ms or s)"),
+        ));
+    }
+
+    if token.contains(['.', 'e', 'E']) {
+        return match token.parse::<f64>() {
+            Ok(x) => Ok(Value::Float(x)),
+            Err(_) => Err(err(line, start_col, format!("invalid number `{token}`"))),
+        };
+    }
+    match token.parse::<i64>() {
+        Ok(i) => Ok(Value::Int(i)),
+        Err(_) => Err(err(
+            line,
+            start_col,
+            format!("invalid integer `{token}` (out of range or malformed)"),
+        )),
+    }
+}
+
+fn parse_duration(
+    number: &str,
+    nanos_per_unit: u64,
+    line: usize,
+    col: usize,
+    token: &str,
+) -> Result<Value, ParseError> {
+    if number.starts_with('-') {
+        return Err(err(
+            line,
+            col,
+            format!("durations cannot be negative: `{token}`"),
+        ));
+    }
+    if number.contains(['.', 'e', 'E']) {
+        let secs_units: f64 = number
+            .parse()
+            .map_err(|_| err(line, col, format!("invalid duration `{token}`")))?;
+        let nanos = secs_units * nanos_per_unit as f64;
+        if !(nanos.is_finite() && nanos >= 0.0 && nanos <= u64::MAX as f64) {
+            return Err(err(
+                line,
+                col,
+                format!("duration `{token}` overflows the clock"),
+            ));
+        }
+        return Ok(Value::Duration(SimDuration::from_nanos(
+            nanos.round() as u64
+        )));
+    }
+    let units: u64 = number
+        .parse()
+        .map_err(|_| err(line, col, format!("invalid duration `{token}`")))?;
+    match units.checked_mul(nanos_per_unit) {
+        Some(nanos) => Ok(Value::Duration(SimDuration::from_nanos(nanos))),
+        None => Err(err(
+            line,
+            col,
+            format!("duration `{token}` overflows the clock"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_document() {
+        let doc = parse(
+            "# demo\nextends = \"base.peas\"\n\n[deployment]\ncount = 480 # nodes\nkind = \"uniform\"\n\n[peas]\nprobing_range = 3.0\nprobe_spread = 40ms\nturnoff = true\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            doc.extends.as_ref().map(|e| e.path.as_str()),
+            Some("base.peas")
+        );
+        assert_eq!(doc.sections.len(), 2);
+        let dep = doc.section("deployment").expect("deployment");
+        assert_eq!(dep.get("count").map(|e| &e.value), Some(&Value::Int(480)));
+        let peas = doc.section("peas").expect("peas");
+        assert_eq!(
+            peas.get("probe_spread").map(|e| &e.value),
+            Some(&Value::Duration(SimDuration::from_millis(40)))
+        );
+        assert_eq!(
+            peas.get("turnoff").map(|e| &e.value),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn parses_lists_and_floats() {
+        let doc = parse("[sweeps]\nvalues = [160, 320, 480]\nrates = [5.33, 48.0]\nempty = []\n")
+            .expect("parses");
+        let sweeps = doc.section("sweeps").expect("sweeps");
+        assert_eq!(
+            sweeps.get("values").map(|e| &e.value),
+            Some(&Value::List(vec![
+                Value::Int(160),
+                Value::Int(320),
+                Value::Int(480)
+            ]))
+        );
+        assert_eq!(
+            sweeps.get("empty").map(|e| &e.value),
+            Some(&Value::List(vec![]))
+        );
+    }
+
+    #[test]
+    fn positions_point_at_tokens() {
+        let e = parse("[a]\nx = 1\nx = 2\n").expect_err("duplicate key");
+        assert_eq!((e.line, e.column), (3, 1));
+        assert!(e.message.contains("duplicate key `x`"));
+
+        let e = parse("[a]\n  y 3\n").expect_err("missing equals");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected `=`"));
+    }
+
+    #[test]
+    fn comment_hash_inside_string_is_content() {
+        let doc = parse("[a]\nname = \"x # y\" # real comment\n").expect("parses");
+        assert_eq!(
+            doc.section("a")
+                .and_then(|s| s.get("name"))
+                .map(|e| &e.value),
+            Some(&Value::Str("x # y".into()))
+        );
+    }
+
+    #[test]
+    fn keys_outside_sections_are_rejected() {
+        // Inside a section, `extends` parses as an ordinary entry (the
+        // schema pass rejects it as an unknown key); a bare key at top
+        // level other than `extends` is a parse error.
+        assert!(parse("[a]\nextends = \"b.peas\"\n").is_ok());
+        let e = parse("x = 1\n").expect_err("outside");
+        assert!(e.message.contains("outside any section"));
+        assert_eq!((e.line, e.column), (1, 1));
+    }
+
+    #[test]
+    fn scientific_notation_is_a_float_not_a_duration() {
+        let doc = parse("[a]\nx = 1e3\ny = -2.5e-2\n").expect("parses");
+        let a = doc.section("a").expect("a");
+        assert_eq!(a.get("x").map(|e| &e.value), Some(&Value::Float(1e3)));
+        assert_eq!(a.get("y").map(|e| &e.value), Some(&Value::Float(-2.5e-2)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Diagnostic contract tests: every error class a scenario author can
+//! hit has a *stable* message and points at the offending line/column.
+//! These strings are part of the DSL's public surface — docs and CI
+//! output quote them — so changing one is a deliberate act that must
+//! update this file.
+
+use std::path::{Path, PathBuf};
+
+use peas_scenario::{compile, load_compiled, load_path, parse};
+
+fn compile_err(src: &str) -> peas_scenario::ScenarioError {
+    compile(&parse(src).expect("source parses"), "test").expect_err("compile must fail")
+}
+
+#[test]
+fn unknown_key_names_the_key_and_section() {
+    let err = compile_err("[deployment]\ncount = 480\n\n[peas]\nprobing_rage = 3.0\n");
+    assert_eq!(err.message, "unknown key `probing_rage` in [peas]");
+    assert_eq!((err.line, err.column), (5, 1));
+}
+
+#[test]
+fn unknown_section_is_rejected() {
+    let err = compile_err("[deployment]\ncount = 480\n\n[radios]\nchannel = \"disc\"\n");
+    assert_eq!(err.message, "unknown section [radios]");
+    assert_eq!((err.line, err.column), (4, 1));
+}
+
+#[test]
+fn type_mismatch_states_expected_and_found() {
+    let err = compile_err("[deployment]\ncount = \"lots\"\n");
+    assert_eq!(
+        err.message,
+        "[deployment] count: expected an integer, found a string"
+    );
+    assert_eq!((err.line, err.column), (2, 1));
+
+    let err = compile_err("[deployment]\ncount = 480\n\n[peas]\nprobe_spread = 40\n");
+    assert_eq!(
+        err.message,
+        "[peas] probe_spread: expected a duration (e.g. `150ms`, `25s`), found an integer"
+    );
+    assert_eq!((err.line, err.column), (5, 1));
+
+    let err = compile_err("[deployment]\ncount = 480\n\n[peas]\nturnoff = 1\n");
+    assert_eq!(
+        err.message,
+        "[peas] turnoff: expected a boolean, found an integer"
+    );
+}
+
+#[test]
+fn missing_deployment_section_is_reported() {
+    let err = compile_err("[peas]\nprobing_range = 3.0\n");
+    assert_eq!(
+        err.message,
+        "missing required section [deployment] (every scenario must declare `count`)"
+    );
+    assert_eq!((err.line, err.column), (1, 1));
+
+    let err = compile_err("[deployment]\nkind = \"uniform\"\n");
+    assert_eq!(err.message, "missing key `count` in [deployment]");
+    assert_eq!((err.line, err.column), (1, 1));
+}
+
+#[test]
+fn bad_unit_suffix_lists_the_accepted_units() {
+    let err = parse("[scenario]\nhorizon = 3m\n").expect_err("bad suffix");
+    assert_eq!(
+        err.message,
+        "unknown unit suffix `m` in `3m` (expected ns, us, ms or s)"
+    );
+    assert_eq!((err.line, err.column), (2, 11));
+}
+
+/// A scratch directory under target/, unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/scenario-error-tests")
+        .join(name);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn cyclic_extends_reports_the_whole_chain() {
+    let dir = scratch("cycle3");
+    std::fs::write(dir.join("a.peas"), "extends = \"b.peas\"\n").expect("write a");
+    std::fs::write(dir.join("b.peas"), "extends = \"c.peas\"\n").expect("write b");
+    std::fs::write(dir.join("c.peas"), "extends = \"a.peas\"\n").expect("write c");
+    let err = load_path(&dir.join("a.peas")).expect_err("cycle detected");
+    assert_eq!(
+        err.message,
+        "cyclic `extends` chain: a.peas -> b.peas -> c.peas -> a.peas"
+    );
+    assert!(err.file.is_some(), "cycle errors carry the offending file");
+}
+
+#[test]
+fn compile_errors_from_files_carry_the_file_name() {
+    let dir = scratch("filetag");
+    std::fs::write(dir.join("bad.peas"), "[deployment]\ncount = true\n").expect("write bad");
+    let err = load_compiled(&dir.join("bad.peas")).expect_err("type error");
+    assert_eq!(
+        err.message,
+        "[deployment] count: expected an integer, found a boolean"
+    );
+    assert!(
+        err.file.as_deref().is_some_and(|f| f.ends_with("bad.peas")),
+        "error should name the file, got {:?}",
+        err.file
+    );
+    // The rendered form is file:line:col: message.
+    assert!(err
+        .to_string()
+        .ends_with("bad.peas:2:1: [deployment] count: expected an integer, found a boolean"));
+}

@@ -1,0 +1,107 @@
+//! The printer/parser round-trip law: `parse(print(doc)) == doc` for
+//! arbitrary documents, and `print(parse(src)) == src` for sources
+//! already in canonical form (printing is a normal form).
+
+use proptest::prelude::*;
+
+use peas_des::time::SimDuration;
+use peas_scenario::{parse, print, Entry, Extends, ScenarioDoc, Section, Span, Value};
+
+/// A lowercase identifier usable as a key, section name or string value.
+fn arb_ident() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..26, 1..8).prop_map(|letters| {
+        letters
+            .into_iter()
+            .map(|i| (b'a' + i as u8) as char)
+            .collect()
+    })
+}
+
+/// Any scalar value (everything a list element may be).
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        prop::bool::ANY.prop_map(Value::Bool),
+        arb_ident().prop_map(Value::Str),
+        (0u64..10_000_000_000u64).prop_map(|n| Value::Duration(SimDuration::from_nanos(n))),
+    ]
+}
+
+/// Any value, including flat lists (possibly empty).
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        arb_scalar(),
+        prop::collection::vec(arb_scalar(), 0..5).prop_map(Value::List),
+    ]
+}
+
+/// A section with unique keys.
+fn arb_section() -> impl Strategy<Value = Section> {
+    (
+        arb_ident(),
+        prop::collection::vec((arb_ident(), arb_value()), 0..6),
+    )
+        .prop_map(|(name, pairs)| {
+            let mut entries: Vec<Entry> = Vec::new();
+            for (key, value) in pairs {
+                if entries.iter().any(|e| e.key == key) {
+                    continue; // duplicate keys are a parse error by design
+                }
+                entries.push(Entry {
+                    key,
+                    value,
+                    span: Span::default(),
+                });
+            }
+            Section {
+                name,
+                entries,
+                span: Span::default(),
+            }
+        })
+}
+
+/// A whole document: optional `extends`, unique section names.
+fn arb_doc() -> impl Strategy<Value = ScenarioDoc> {
+    (
+        prop::option::of(arb_ident()),
+        prop::collection::vec(arb_section(), 0..5),
+    )
+        .prop_map(|(extends, raw_sections)| {
+            let mut sections: Vec<Section> = Vec::new();
+            for section in raw_sections {
+                if sections.iter().any(|s| s.name == section.name) {
+                    continue; // duplicate sections are a parse error by design
+                }
+                sections.push(section);
+            }
+            ScenarioDoc {
+                extends: extends.map(|stem| Extends {
+                    path: format!("{stem}.peas"),
+                    span: Span::default(),
+                }),
+                sections,
+            }
+        })
+}
+
+proptest! {
+    /// The round-trip law: printing then parsing recovers the document
+    /// exactly (spans excluded — equality ignores them by design).
+    #[test]
+    fn parse_print_round_trips(doc in arb_doc()) {
+        let printed = print(&doc);
+        let reparsed = parse(&printed);
+        prop_assert!(reparsed.is_ok(), "printed form failed to parse: {printed:?}");
+        prop_assert_eq!(reparsed.expect("checked above"), doc);
+    }
+
+    /// Printing is idempotent: the canonical form is a fixed point.
+    #[test]
+    fn print_is_a_normal_form(doc in arb_doc()) {
+        let printed = print(&doc);
+        let reprinted = print(&parse(&printed).expect("canonical form parses"));
+        prop_assert_eq!(reprinted, printed);
+    }
+}

@@ -106,7 +106,7 @@ impl Default for MetricsConfig {
 /// 20 kbps radios, Motes power profile, 54–60 J batteries, a corner source
 /// reporting every 10 s to a corner sink over GRAB, and PEAS at
 /// `Rp` = 3 m / λ₀ = 0.1 / λd = 0.02.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioConfig {
     /// The deployment field.
     pub field: Field,

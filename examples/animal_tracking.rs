@@ -14,8 +14,9 @@
 use peas_repro::des::rng::SimRng;
 use peas_repro::des::time::SimTime;
 use peas_repro::geometry::Point;
-use peas_repro::protocol::PeasConfig;
-use peas_repro::simulation::{ScenarioConfig, World};
+use peas_repro::scenario::load_compiled;
+use peas_repro::simulation::World;
+use std::path::Path;
 
 /// A wandering animal: piecewise-linear motion between random waypoints.
 struct Animal {
@@ -53,10 +54,12 @@ impl Animal {
 
 fn main() {
     // The paper's field with a denser deployment, tuned for tracking:
-    // lambda_d = 1/300 s (five-minute interruption tolerance).
-    let mut config = ScenarioConfig::paper(320).with_seed(7);
-    config.peas = PeasConfig::builder().desired_rate(1.0 / 300.0).build();
-    config.grab = None; // this example watches sensing, not data delivery
+    // lambda_d = 1/300 s (five-minute interruption tolerance), declared
+    // in the sibling scenario file.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/animal_tracking.peas");
+    let config = load_compiled(&path)
+        .expect("animal_tracking.peas compiles")
+        .base;
 
     let sensing_range = config.sensing_range;
     let (width, height) = (config.field.width(), config.field.height());

@@ -16,8 +16,9 @@
 //! ```
 
 use peas_repro::des::time::SimTime;
-use peas_repro::protocol::PeasConfig;
+use peas_repro::scenario::load_compiled;
 use peas_repro::simulation::{ScenarioConfig, World};
+use std::path::Path;
 
 fn main() {
     // The analytical part: fraction waking within one minute.
@@ -36,13 +37,11 @@ fn main() {
         "{:>8}  {:>16}  {:>16}",
         "t (s)", "lambda0 = 0.012", "lambda0 = 0.1"
     );
-    let run_boot = |initial_rate: f64| {
-        let mut config = ScenarioConfig::paper(320)
-            .with_failure_rate(0.0)
-            .with_seed(11);
-        config.grab = None;
-        config.peas = PeasConfig::builder().initial_rate(initial_rate).build();
-        config.horizon = SimTime::from_secs(400);
+    // The sibling scenario file declares the boot setup and a sweep over
+    // peas.initial_rate = [0.012, 0.1]; runs() expands it in value order.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/boot_phase.peas");
+    let scenario = load_compiled(&path).expect("boot_phase.peas compiles");
+    let run_boot = |config: ScenarioConfig| {
         let mut world = World::new(config);
         let mut counts = Vec::new();
         for t in (30..=390).step_by(60) {
@@ -51,8 +50,9 @@ fn main() {
         }
         counts
     };
-    let slow = run_boot(0.012);
-    let fast = run_boot(0.1);
+    let runs = scenario.runs();
+    let slow = run_boot(runs[0].config.clone());
+    let fast = run_boot(runs[1].config.clone());
     for (i, t) in (30..=390).step_by(60).enumerate() {
         println!("{:>8}  {:>16}  {:>16}", t, slow[i], fast[i]);
     }

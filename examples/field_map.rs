@@ -9,10 +9,13 @@
 //! ```
 
 use peas_repro::des::time::SimTime;
-use peas_repro::simulation::{ScenarioConfig, World};
+use peas_repro::scenario::load_compiled;
+use peas_repro::simulation::World;
+use std::path::Path;
 
 fn main() {
-    let config = ScenarioConfig::paper(320).with_seed(5);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/field_map.peas");
+    let config = load_compiled(&path).expect("field_map.peas compiles").base;
     let mut world = World::new(config);
 
     for (t, label) in [

@@ -10,10 +10,17 @@
 //! ```
 
 use peas_repro::baselines::{BaselineScenario, SleepScheduler, SynchronizedRounds};
-use peas_repro::simulation::{run_one, ScenarioConfig};
+use peas_repro::scenario::load_compiled;
+use peas_repro::simulation::run_one;
+use std::path::Path;
 
 fn main() {
-    let n = 480;
+    // The failure-rate sweep is declared in the sibling scenario file;
+    // the synchronized strawman below stays on the Rust side (it runs on
+    // the coarse baseline model, not the packet-level simulator).
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/harsh_environment.peas");
+    let scenario = load_compiled(&path).expect("harsh_environment.peas compiles");
+    let n = scenario.base.node_count;
     println!("harsh-environment sweep: N = {n}, failure rates up to the paper's 48/5000 s\n");
     println!(
         "{:>11}  {:>14}  {:>14}  {:>13}",
@@ -22,13 +29,14 @@ fn main() {
 
     let mut peas_base = None;
     let mut sync_base = None;
-    for rate in [5.33, 16.0, 26.66, 37.33, 48.0] {
+    for run in scenario.runs() {
         // PEAS under the full packet-level simulator.
-        let mut config = ScenarioConfig::paper(n)
-            .with_failure_rate(rate)
-            .with_seed(3);
-        config.grab = None;
-        let report = run_one(config);
+        let rate = run
+            .config
+            .failure
+            .expect("every sweep point injects failures")
+            .rate_per_5000s;
+        let report = run_one(run.config);
         let peas_life = report.coverage_lifetime(4, 0.9);
 
         // The synchronized strawman on the coarse energy/coverage model.

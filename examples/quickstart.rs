@@ -5,15 +5,19 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use peas_repro::simulation::{ScenarioConfig, World};
+use peas_repro::scenario::load_compiled;
+use peas_repro::simulation::World;
+use std::path::Path;
 
 fn main() {
     // The paper's Section 5 scenario: 50 x 50 m field, 160 uniformly
     // deployed sensors, Motes-like radios (tx 60 mW / rx 12 mW / idle
     // 12 mW / sleep 0.03 mW), 54-60 J batteries, Rp = 3 m, lambda_d =
     // 0.02/s, a corner source reporting every 10 s to a corner sink over
-    // GRAB, and 10.66 random failures per 5000 s.
-    let config = ScenarioConfig::paper(160).with_seed(42);
+    // GRAB, and 10.66 random failures per 5000 s — all declared in the
+    // sibling scenario file.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/quickstart.peas");
+    let config = load_compiled(&path).expect("quickstart.peas compiles").base;
     println!(
         "deploying {} sensors on a {:.0} x {:.0} m field...",
         config.node_count,

@@ -21,7 +21,10 @@
 //! * [`baselines`] — always-on / synchronized-rounds / GAF-style
 //!   comparison schedulers;
 //! * [`analysis`] — lifetimes, statistics and the paper's analytical
-//!   reproductions.
+//!   reproductions;
+//! * [`scenario`] — the declarative `.peas` scenario language and the
+//!   golden conformance harness pinning every experiment to a committed
+//!   fingerprint.
 //!
 //! ## Quick start
 //!
@@ -84,4 +87,12 @@ pub mod baselines {
 /// Statistics and analytical reproductions (re-export of `peas-analysis`).
 pub mod analysis {
     pub use peas_analysis::*;
+}
+
+/// The declarative scenario DSL and golden conformance harness
+/// (re-export of `peas-scenario`). Scenario files live under
+/// `scenarios/` and next to the examples; see `DESIGN.md` for the
+/// grammar.
+pub mod scenario {
+    pub use peas_scenario::*;
 }

@@ -10,19 +10,11 @@
 
 use peas_repro::des::time::SimTime;
 use peas_repro::radio::Channel;
-use peas_repro::simulation::{run_one, RunReport, ScenarioConfig};
-
-/// FNV-1a over the formatted sample stream.
-fn fingerprint(parts: impl Iterator<Item = String>) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for part in parts {
-        for byte in part.as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    hash
-}
+// The fingerprint definition lives in peas-scenario's conformance layer
+// now — one canonical encoding shared by this test, the `.peas` golden
+// snapshots and the `scenario` driver binary.
+use peas_repro::scenario::sample_fingerprint;
+use peas_repro::simulation::{run_one, ScenarioConfig};
 
 const GOLDEN_FINGERPRINT: u64 = 0x4053_87E1_0CC7_2444;
 
@@ -30,24 +22,6 @@ const GOLDEN_FINGERPRINT: u64 = 0x4053_87E1_0CC7_2444;
 /// RNG-consumption order of the per-edge precomputed shadowing draws and
 /// the per-receiver loss draws on the decode-row fast path.
 const GOLDEN_FINGERPRINT_SHADOWED: u64 = 0xCA76_1049_62AF_AC70;
-
-fn sample_fingerprint(report: &RunReport) -> u64 {
-    fingerprint(report.samples.iter().map(|s| {
-        format!(
-            "{:.3}|{:?}|{}|{}|{}|{}|{:?}",
-            s.t_secs,
-            s.coverage
-                .iter()
-                .map(|c| (c * 1e6).round() as u64)
-                .collect::<Vec<_>>(),
-            s.working,
-            s.sleeping,
-            s.alive,
-            s.total_wakeups,
-            s.delivery_ratio.map(|r| (r * 1e6).round() as u64),
-        )
-    }))
-}
 
 #[test]
 fn small_scenario_fingerprint_is_stable() {
