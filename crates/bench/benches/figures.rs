@@ -11,7 +11,7 @@ use peas_analysis::{mean_gaps, GapModel};
 use peas_bench::experiments;
 use peas_bench::sweeps::{deployment_sweep, failure_sweep};
 use peas_des::time::SimTime;
-use peas_sim::{run_one, ScenarioConfig, World};
+use peas_sim::{Runner, ScenarioConfig, World};
 
 /// A miniature deployment point: enough to exercise the fig9/10/11/table1
 /// extraction path in a bench-sized budget.
@@ -23,7 +23,7 @@ fn mini_deployment_sweep() -> Vec<peas_bench::sweeps::SweepPoint> {
         cfg.horizon = SimTime::from_secs(1_500);
         points.push(peas_bench::sweeps::SweepPoint {
             x: n as f64,
-            reports: vec![run_one(cfg)],
+            reports: vec![Runner::new(cfg).run_single()],
         });
     }
     points
@@ -37,7 +37,7 @@ fn mini_failure_sweep() -> Vec<peas_bench::sweeps::SweepPoint> {
         cfg.horizon = SimTime::from_secs(1_500);
         points.push(peas_bench::sweeps::SweepPoint {
             x: rate,
-            reports: vec![run_one(cfg)],
+            reports: vec![Runner::new(cfg).run_single()],
         });
     }
     points
@@ -191,7 +191,7 @@ fn bench_full_sim(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = ScenarioConfig::paper(160).with_seed(1);
             cfg.horizon = SimTime::from_secs(1_000);
-            black_box(run_one(cfg))
+            black_box(Runner::new(cfg).run_single())
         });
     });
     g.finish();
@@ -210,7 +210,7 @@ fn bench_deployment_dist(c: &mut Criterion) {
                 std_dev: 5.0,
             };
             cfg.horizon = SimTime::from_secs(1_000);
-            black_box(run_one(cfg))
+            black_box(Runner::new(cfg).run_single())
         });
     });
     g.finish();
@@ -230,7 +230,7 @@ fn bench_irregular(c: &mut Criterion) {
             cfg.channel = Channel::shadowed(5);
             cfg.peas = PeasConfig::builder().fixed_power(10.0).build();
             cfg.horizon = SimTime::from_secs(1_000);
-            black_box(run_one(cfg))
+            black_box(Runner::new(cfg).run_single())
         });
     });
     g.finish();

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use peas_des::time::SimTime;
-use peas_sim::{run_one, ScenarioConfig};
+use peas_sim::{Runner, ScenarioConfig};
 
 struct Args {
     nodes: usize,
@@ -96,7 +96,7 @@ fn main() {
     };
 
     // Warm-up run (untimed): page in code, size allocator pools.
-    let _ = run_one(config(args.seeds[0]));
+    let _ = Runner::new(config(args.seeds[0])).run_single();
 
     let mut total_events: u64 = 0;
     let mut total_wakeups: u64 = 0;
@@ -108,7 +108,7 @@ fn main() {
         let mut rep_frames: u64 = 0;
         let start = Instant::now();
         for &seed in &args.seeds {
-            let report = run_one(config(seed));
+            let report = Runner::new(config(seed)).run_single();
             rep_events += report.events_processed;
             rep_wakeups += report.total_wakeups();
             rep_frames += report.medium.frames_sent;

@@ -2,7 +2,7 @@ fn main() {
     use peas_sim::*;
     for n in [160usize, 480, 800] {
         let t0 = std::time::Instant::now();
-        let report = run_one(ScenarioConfig::paper(n).with_seed(1));
+        let report = Runner::new(ScenarioConfig::paper(n).with_seed(1)).run_single();
         println!("N={n}: wall={:?} end={:.0}s wakeups={} cov3={:.0} cov4={:.0} cov5={:.0} deliv={:.0} ratio_final={:.3} overheadJ={:.2} ovr={:.3}% consumed={:.0}J failures={} edeaths={}",
             t0.elapsed(), report.end_secs, report.total_wakeups(),
             report.coverage_lifetime(3, 0.9), report.coverage_lifetime(4, 0.9), report.coverage_lifetime(5, 0.9),

@@ -7,6 +7,8 @@
 //! Commands:
 //!   list                 list the corpus with run counts
 //!   run <name|all>       expand and run a scenario's full sweep, print a summary
+//!                        (`--json`: emit one schema-1 report line per run,
+//!                        the same serialized form the sweep journal uses)
 //!   fingerprint <name|all>  run the golden config, print its snapshot
 //!   check [name|all]     compare fresh snapshots against scenarios/golden/ (exit 1 on drift)
 //!   bless [name|all]     rewrite scenarios/golden/ snapshots from fresh runs
@@ -20,7 +22,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use peas_scenario::{first_divergence, load_compiled, CompiledScenario, Snapshot};
-use peas_sim::{run_configs_parallel, run_one};
+use peas_sim::{encode_report, Runner};
 
 /// The scenario corpus directory, anchored at the workspace root so the
 /// binary works from any working directory.
@@ -99,27 +101,33 @@ fn cmd_list(corpus: &[(String, CompiledScenario)]) {
     }
 }
 
-fn cmd_run(selected: &[(String, CompiledScenario)]) {
+fn cmd_run(selected: &[(String, CompiledScenario)], json: bool) {
     for (stem, scenario) in selected {
         let runs = scenario.runs();
-        println!("{stem}: {} runs", runs.len());
+        if !json {
+            println!("{stem}: {} runs", runs.len());
+        }
         let labels: Vec<String> = runs.iter().map(|r| r.label.clone()).collect();
         let configs = runs.into_iter().map(|r| r.config).collect();
-        let reports = run_configs_parallel(configs);
+        let reports = Runner::configs(configs).run();
         for (label, report) in labels.iter().zip(&reports) {
-            println!(
-                "  {label:<40} cov1-life {:>9.1} s  wakeups {:>6}  consumed {:>8.2} J",
-                report.coverage_lifetime(1, 0.9),
-                report.total_wakeups(),
-                report.consumed_j,
-            );
+            if json {
+                println!("{}", encode_report(report));
+            } else {
+                println!(
+                    "  {label:<40} cov1-life {:>9.1} s  wakeups {:>6}  consumed {:>8.2} J",
+                    report.coverage_lifetime(1, 0.9),
+                    report.total_wakeups(),
+                    report.consumed_j,
+                );
+            }
         }
     }
 }
 
 fn cmd_fingerprint(selected: &[(String, CompiledScenario)]) {
     for (stem, scenario) in selected {
-        let report = run_one(scenario.golden_config());
+        let report = Runner::new(scenario.golden_config()).run_single();
         print!("{}", Snapshot::of_report(&report).render(stem));
     }
 }
@@ -147,7 +155,7 @@ fn cmd_check(dir: &Path, selected: &[(String, CompiledScenario)]) -> bool {
                 continue;
             }
         };
-        let actual = Snapshot::of_report(&run_one(scenario.golden_config()));
+        let actual = Snapshot::of_report(&Runner::new(scenario.golden_config()).run_single());
         match first_divergence(&expected, &actual) {
             None => println!("{stem}: ok"),
             Some(divergence) => {
@@ -164,7 +172,7 @@ fn cmd_bless(dir: &Path, selected: &[(String, CompiledScenario)]) -> Result<(), 
     std::fs::create_dir_all(&golden_dir)
         .map_err(|e| format!("cannot create {}: {e}", golden_dir.display()))?;
     for (stem, scenario) in selected {
-        let report = run_one(scenario.golden_config());
+        let report = Runner::new(scenario.golden_config()).run_single();
         let snapshot = Snapshot::of_report(&report);
         let path = golden_path(dir, stem);
         std::fs::write(&path, snapshot.render(stem))
@@ -181,10 +189,15 @@ fn cmd_bless(dir: &Path, selected: &[(String, CompiledScenario)]) -> Result<(), 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
-        eprintln!("usage: scenario <list|run|fingerprint|check|bless> [name ...|all]");
+        eprintln!("usage: scenario <list|run|fingerprint|check|bless> [name ...|all] [--json]");
         return ExitCode::FAILURE;
     };
-    let names = &args[1..];
+    let json = args.iter().any(|a| a == "--json");
+    let names: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| a.as_str() != "--json")
+        .cloned()
+        .collect();
     let dir = corpus_dir();
 
     let corpus = match load_corpus(&dir) {
@@ -194,7 +207,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let selected = match select(corpus, names) {
+    let selected = match select(corpus, &names) {
         Ok(selected) => selected,
         Err(e) => {
             eprintln!("error: {e}");
@@ -209,7 +222,7 @@ fn main() -> ExitCode {
             true
         }
         "run" => {
-            cmd_run(&selected);
+            cmd_run(&selected, json);
             true
         }
         "fingerprint" => {

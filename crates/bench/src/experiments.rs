@@ -6,7 +6,7 @@ use peas::PeasConfig;
 use peas_analysis::{linear_fit, mean_gaps, GapModel, Summary};
 use peas_des::time::SimTime;
 use peas_geom::CONNECTIVITY_FACTOR;
-use peas_sim::{run_one, run_seeds, ScenarioConfig, World};
+use peas_sim::{Runner, ScenarioConfig, World};
 
 use crate::sweeps::{
     deployment_sweep, failure_sweep, SweepPoint, PAPER_FAILURE_RATES, PAPER_NODE_COUNTS,
@@ -268,8 +268,8 @@ pub fn adaptive(opts: &ExperimentOpts) -> String {
         .rate_bounds(0.02 - 1e-9, 0.02 + 1e-9)
         .build();
 
-    let adaptive_reports = run_seeds(&adaptive_cfg, &opts.seeds);
-    let fixed_reports = run_seeds(&fixed_cfg, &opts.seeds);
+    let adaptive_reports = Runner::new(adaptive_cfg.clone()).seeds(&opts.seeds).run();
+    let fixed_reports = Runner::new(fixed_cfg.clone()).seeds(&opts.seeds).run();
     for (t0, t1) in [(500.0, 1500.0), (1500.0, 2500.0), (2500.0, 3500.0)] {
         let mean_rate = |reports: &[peas_sim::RunReport]| {
             let vals: Vec<f64> = reports
@@ -367,7 +367,7 @@ pub fn loss(opts: &ExperimentOpts) -> String {
             config.loss_rate = loss_rate;
             config.peas = PeasConfig::builder().probe_count(probe_count).build();
             config.horizon = SimTime::from_secs(3_000);
-            let reports = run_seeds(&config, &opts.seeds);
+            let reports = Runner::new(config.clone()).seeds(&opts.seeds).run();
             let mean_working = reports
                 .iter()
                 .map(|r| r.working_series().value_at(2_500.0))
@@ -477,7 +477,9 @@ pub fn baselines(opts: &ExperimentOpts) -> String {
         let peas_life = {
             let mut config = ScenarioConfig::paper(n);
             config.grab = None;
-            run_seeds(&config, &opts.seeds)
+            Runner::new(config.clone())
+                .seeds(&opts.seeds)
+                .run()
                 .iter()
                 .map(|r| r.coverage_lifetime(1, LIFETIME_THRESHOLD))
                 .sum::<f64>()
@@ -522,7 +524,7 @@ pub fn deployment_dist(opts: &ExperimentOpts) -> String {
         let mut config = ScenarioConfig::paper(n);
         config.grab = None;
         config.deployment = deployment;
-        let reports = run_seeds(&config, &opts.seeds);
+        let reports = Runner::new(config.clone()).seeds(&opts.seeds).run();
         let c4 = reports
             .iter()
             .map(|r| r.coverage_lifetime(4, LIFETIME_THRESHOLD))
@@ -565,7 +567,7 @@ pub fn irregular(opts: &ExperimentOpts) -> String {
             config.peas = PeasConfig::builder().fixed_power(10.0).build();
         }
         config.horizon = SimTime::from_secs(3_000);
-        let reports = run_seeds(&config, &opts.seeds);
+        let reports = Runner::new(config.clone()).seeds(&opts.seeds).run();
         let working = reports
             .iter()
             .map(|r| r.working_series().value_at(2_500.0))
@@ -606,7 +608,7 @@ pub fn events(opts: &ExperimentOpts) -> String {
             rate_per_100s: 20.0,
         });
         config.horizon = SimTime::from_secs(4_000);
-        let reports = run_seeds(&config, &opts.seeds);
+        let reports = Runner::new(config.clone()).seeds(&opts.seeds).run();
         let total =
             reports.iter().map(|r| r.events_total).sum::<u64>() as f64 / reports.len() as f64;
         let detected = reports
@@ -693,7 +695,7 @@ pub fn lambdad_sweep(opts: &ExperimentOpts) -> String {
         config.grab = None;
         config.peas = PeasConfig::builder().desired_rate(lambdad).build();
         config.horizon = SimTime::from_secs(4_000);
-        let reports = run_seeds(&config, &opts.seeds);
+        let reports = Runner::new(config.clone()).seeds(&opts.seeds).run();
         let wakeups = reports
             .iter()
             .map(|r| r.wakeup_series().value_at(4_000.0) - r.wakeup_series().value_at(3_000.0))
@@ -722,7 +724,7 @@ pub fn lambdad_sweep(opts: &ExperimentOpts) -> String {
 /// Convenience: run one paper-scale scenario and summarize it (used by the
 /// quickstart-style smoke command).
 pub fn smoke(n: usize, seed: u64) -> String {
-    let report = run_one(ScenarioConfig::paper(n).with_seed(seed));
+    let report = Runner::new(ScenarioConfig::paper(n).with_seed(seed)).run_single();
     format!(
         "N={n} seed={seed}: end={:.0}s wakeups={} cov4-lifetime={:.0}s delivery-lifetime={:.0}s \
          overhead={:.2}J ({:.3}%) failures={} energy-deaths={}\n",
@@ -780,7 +782,7 @@ mod tests {
         cfg.horizon = SimTime::from_secs(200);
         let points = vec![SweepPoint {
             x: 40.0,
-            reports: run_seeds(&cfg, &[1]),
+            reports: Runner::new(cfg.clone()).seeds(&[1]).run(),
         }];
         for block in [
             fig9(&points),

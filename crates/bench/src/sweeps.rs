@@ -6,7 +6,7 @@
 //! numbers were produced (Section 5.2: "Given each node population, the
 //! results are averaged over 5 simulation runs").
 
-use peas_sim::{run_configs_parallel, RunReport, ScenarioConfig};
+use peas_sim::{RunReport, Runner, ScenarioConfig};
 
 /// One sweep point: the x-value and the per-seed reports.
 #[derive(Debug)]
@@ -68,7 +68,7 @@ fn sweep(points: Vec<(f64, ScenarioConfig)>, seeds: &[u64]) -> Vec<SweepPoint> {
         .iter()
         .flat_map(|(_, config)| seeds.iter().map(|&seed| config.clone().with_seed(seed)))
         .collect();
-    let mut reports = run_configs_parallel(configs).into_iter();
+    let mut reports = Runner::configs(configs).run().into_iter();
     points
         .into_iter()
         .map(|(x, _)| SweepPoint {
@@ -112,7 +112,7 @@ mod tests {
                 c.node_count = n;
                 SweepPoint {
                     x: n as f64,
-                    reports: peas_sim::run_seeds_parallel(&c, &[1, 2]),
+                    reports: Runner::new(c).seeds(&[1, 2]).run(),
                 }
             })
             .collect();

@@ -32,14 +32,18 @@
 
 pub mod config;
 pub mod metrics;
+pub mod report_json;
 pub mod runner;
+pub mod session;
 pub mod trace;
 pub mod world;
 
 pub use config::{BatterySpec, EventWorkload, FailureConfig, MetricsConfig, ScenarioConfig};
 pub use metrics::{RunReport, Sample};
-pub use runner::{
-    average_metric, run_configs_parallel, run_one, run_seeds, run_seeds_parallel, AveragedPoint,
-};
+pub use report_json::{decode_report, encode_report, REPORT_SCHEMA};
+pub use runner::{average_metric, AveragedPoint, Runner};
+#[allow(deprecated)]
+pub use runner::{run_configs_parallel, run_one, run_seeds, run_seeds_parallel};
+pub use session::{config_fingerprint, SessionError, Shard, ShardKey, SweepSession};
 pub use trace::{DeathKind, FrameKind, TraceCounts, TraceEvent, TraceSink};
 pub use world::World;

@@ -1,8 +1,12 @@
-//! Multi-seed experiment running and averaging.
+//! The [`Runner`] facade: one builder for every way the repo executes
+//! simulations.
 //!
 //! The paper averages every data point over 5 simulation runs
-//! (Section 5.2); [`run_seeds`] reproduces that: one [`World`] per seed,
-//! plus [`AveragedPoint`] summaries for the figures.
+//! (Section 5.2); `Runner::new(cfg).seeds(&SEEDS).run()` reproduces that:
+//! one [`World`] per (config, seed) job, executed on a bounded worker
+//! pool, reports returned in job order. The historical free functions
+//! (`run_one`, `run_seeds`, `run_seeds_parallel`, `run_configs_parallel`)
+//! remain as thin `#[deprecated]` shims over the facade.
 
 use peas_analysis::Summary;
 
@@ -10,81 +14,205 @@ use crate::config::ScenarioConfig;
 use crate::metrics::RunReport;
 use crate::world::World;
 
-/// Runs the scenario once.
-pub fn run_one(config: ScenarioConfig) -> RunReport {
-    World::new(config).run()
+/// Builder-style facade over every execution mode: single runs, multi-seed
+/// replication, heterogeneous config sweeps, serial or bounded-parallel.
+///
+/// The job list is always expanded eagerly and executed in a deterministic
+/// order: [`Runner::run`] returns reports in *job order* no matter which
+/// worker finished first, so downstream consumers (sweep points, golden
+/// fingerprints, the [`crate::session::SweepSession`] journal) can index
+/// results positionally.
+///
+/// ```
+/// use peas_sim::{Runner, ScenarioConfig};
+///
+/// let reports = Runner::new(ScenarioConfig::small())
+///     .seeds(&[1, 2])
+///     .parallelism(2)
+///     .run();
+/// assert_eq!(reports.len(), 2);
+/// assert_eq!(reports[0].seed, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Runner {
+    /// The expanded job list, in execution (and result) order.
+    jobs: Vec<ScenarioConfig>,
+    /// Worker-thread cap; `None` means `available_parallelism`.
+    parallelism: Option<usize>,
 }
 
-/// Runs the scenario once per seed (the paper uses 5 seeds per point).
-///
-/// # Panics
-///
-/// Panics if `seeds` is empty.
-pub fn run_seeds(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    seeds
-        .iter()
-        .map(|&seed| run_one(config.clone().with_seed(seed)))
-        .collect()
-}
-
-/// Like [`run_seeds`], but distributes the seeds over a bounded pool of
-/// OS threads (see [`run_configs_parallel`]). Each run is fully independent
-/// (its own world, RNG streams and medium), so the reports are identical to
-/// the serial version's — only wall time changes.
-///
-/// # Panics
-///
-/// Panics if `seeds` is empty.
-pub fn run_seeds_parallel(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    run_configs_parallel(
-        seeds
-            .iter()
-            .map(|&seed| config.clone().with_seed(seed))
-            .collect(),
-    )
-}
-
-/// Runs every scenario on a bounded worker pool, returning the reports in
-/// input order.
-///
-/// At most [`std::thread::available_parallelism`] worker threads are
-/// spawned, however many jobs there are; workers pull the next un-started
-/// job from a shared counter, so a slow run never leaves cores idle while
-/// work remains. With a single core (or a single job) the jobs simply run
-/// on the caller's thread.
-///
-/// # Panics
-///
-/// Panics if any individual run panics (worker panics propagate through
-/// [`std::thread::scope`]) — e.g. when a config fails validation.
-pub fn run_configs_parallel(configs: Vec<ScenarioConfig>) -> Vec<RunReport> {
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(configs.len());
-    if workers <= 1 {
-        return configs.into_iter().map(run_one).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::OnceLock<RunReport>> = (0..configs.len())
-        .map(|_| std::sync::OnceLock::new())
-        .collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(config) = configs.get(i) else { break };
-                let filled = slots[i].set(run_one(config.clone()));
-                debug_assert!(filled.is_ok(), "job {i} claimed twice");
-            });
+impl Runner {
+    /// A runner with a single job: `config` as-is.
+    pub fn new(config: ScenarioConfig) -> Runner {
+        Runner {
+            jobs: vec![config],
+            parallelism: None,
         }
-    });
-    slots
-        .into_iter()
-        // peas-lint: allow(r1-unchecked-panic) -- scope join guarantees every claimed slot was filled; the shared counter claims each exactly once
-        .map(|slot| slot.into_inner().expect("worker pool dropped a job"))
-        .collect()
+    }
+
+    /// A runner over an explicit job list (a heterogeneous sweep). The
+    /// list may be empty, in which case [`Runner::run`] returns no
+    /// reports.
+    pub fn configs(configs: Vec<ScenarioConfig>) -> Runner {
+        Runner {
+            jobs: configs,
+            parallelism: None,
+        }
+    }
+
+    /// Replicates every current job once per seed, in values-major order
+    /// (for each job, each seed) — the same flattening the `.peas`
+    /// `[sweeps]` expansion uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    #[must_use]
+    pub fn seeds(mut self, seeds: &[u64]) -> Runner {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        self.jobs = self
+            .jobs
+            .iter()
+            .flat_map(|job| seeds.iter().map(|&seed| job.clone().with_seed(seed)))
+            .collect();
+        self
+    }
+
+    /// Caps the worker pool at `workers` OS threads (default:
+    /// [`std::thread::available_parallelism`]). `parallelism(1)` forces
+    /// fully serial execution on the caller's thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is 0.
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Runner {
+        assert!(workers >= 1, "parallelism must be at least 1");
+        self.parallelism = Some(workers);
+        self
+    }
+
+    /// Number of jobs the runner will execute.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The expanded job list, in execution order.
+    pub fn job_configs(&self) -> &[ScenarioConfig] {
+        &self.jobs
+    }
+
+    /// Executes every job and returns the reports **in job order**,
+    /// regardless of which worker finished first.
+    ///
+    /// At most `min(parallelism, jobs)` worker threads are spawned;
+    /// workers pull the next un-started job from a shared counter, so a
+    /// slow run never leaves cores idle while work remains. With a single
+    /// worker (or a single job) the jobs simply run on the caller's
+    /// thread. Each run is fully independent (its own world, RNG streams
+    /// and medium), so the reports are identical to a serial run's — only
+    /// wall time changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any individual run panics (worker panics propagate
+    /// through [`std::thread::scope`]) — e.g. when a config fails
+    /// validation.
+    pub fn run(self) -> Vec<RunReport> {
+        let workers = self
+            .parallelism
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .min(self.jobs.len());
+        if workers <= 1 {
+            return self
+                .jobs
+                .into_iter()
+                .map(|config| World::new(config).run())
+                .collect();
+        }
+        let jobs = self.jobs;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::OnceLock<RunReport>> = (0..jobs.len())
+            .map(|_| std::sync::OnceLock::new())
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(config) = jobs.get(i) else { break };
+                    let filled = slots[i].set(World::new(config.clone()).run());
+                    debug_assert!(filled.is_ok(), "job {i} claimed twice");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            // peas-lint: allow(r1-unchecked-panic) -- scope join guarantees every claimed slot was filled; the shared counter claims each exactly once
+            .map(|slot| slot.into_inner().expect("worker pool dropped a job"))
+            .collect()
+    }
+
+    /// Executes a single-job runner and returns its one report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job list does not hold exactly one config (use
+    /// [`Runner::run`] for multi-job runners), or if the run itself
+    /// panics.
+    pub fn run_single(self) -> RunReport {
+        assert_eq!(
+            self.jobs.len(),
+            1,
+            "run_single needs exactly one job, got {}",
+            self.jobs.len()
+        );
+        let mut reports = self.run();
+        // peas-lint: allow(r1-unchecked-panic) -- the assert above pins the job list to length 1
+        reports.pop().expect("one job yields one report")
+    }
+}
+
+/// Runs the scenario once.
+#[deprecated(note = "use the `Runner` facade: `Runner::new(config).run_single()`")]
+pub fn run_one(config: ScenarioConfig) -> RunReport {
+    Runner::new(config).run_single()
+}
+
+/// Runs the scenario once per seed, serially (the paper uses 5 seeds per
+/// point).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+#[deprecated(
+    note = "use the `Runner` facade: `Runner::new(config).seeds(seeds).parallelism(1).run()`"
+)]
+pub fn run_seeds(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
+    Runner::new(config.clone())
+        .seeds(seeds)
+        .parallelism(1)
+        .run()
+}
+
+/// Like [`run_seeds`], but on the bounded worker pool.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+#[deprecated(note = "use the `Runner` facade: `Runner::new(config).seeds(seeds).run()`")]
+pub fn run_seeds_parallel(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
+    Runner::new(config.clone()).seeds(seeds).run()
+}
+
+/// Runs every scenario on the bounded worker pool, returning the reports
+/// in input order.
+///
+/// # Panics
+///
+/// Panics if any individual run panics.
+#[deprecated(note = "use the `Runner` facade: `Runner::configs(configs).run()`")]
+pub fn run_configs_parallel(configs: Vec<ScenarioConfig>) -> Vec<RunReport> {
+    Runner::configs(configs).run()
 }
 
 /// One averaged figure point.
@@ -132,8 +260,8 @@ mod tests {
     }
 
     #[test]
-    fn run_seeds_produces_one_report_per_seed() {
-        let reports = run_seeds(&tiny(), &[1, 2, 3]);
+    fn runner_produces_one_report_per_seed() {
+        let reports = Runner::new(tiny()).seeds(&[1, 2, 3]).parallelism(1).run();
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[0].seed, 1);
         assert_eq!(reports[2].seed, 3);
@@ -143,7 +271,7 @@ mod tests {
 
     #[test]
     fn average_metric_summarizes() {
-        let reports = run_seeds(&tiny(), &[4, 5]);
+        let reports = Runner::new(tiny()).seeds(&[4, 5]).run();
         let point = average_metric(25.0, &reports, |r| r.total_wakeups() as f64);
         assert_eq!(point.x, 25.0);
         assert_eq!(point.summary.n, 2);
@@ -153,24 +281,86 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one seed")]
     fn empty_seed_list_rejected() {
-        let _ = run_seeds(&tiny(), &[]);
+        let _ = Runner::new(tiny()).seeds(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be at least 1")]
+    fn zero_parallelism_rejected() {
+        let _ = Runner::new(tiny()).parallelism(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one job")]
+    fn run_single_requires_one_job() {
+        let _ = Runner::new(tiny()).seeds(&[1, 2]).run_single();
+    }
+
+    #[test]
+    fn empty_config_list_runs_to_empty_report_list() {
+        assert!(Runner::configs(Vec::new()).run().is_empty());
+    }
+
+    #[test]
+    fn configs_cross_seeds_expand_values_major() {
+        let runner = Runner::configs(vec![tiny().with_seed(0), {
+            let mut c = tiny();
+            c.node_count = 30;
+            c
+        }])
+        .seeds(&[7, 8]);
+        let jobs = runner.job_configs();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(
+            jobs.iter()
+                .map(|c| (c.node_count, c.seed))
+                .collect::<Vec<_>>(),
+            vec![(25, 7), (25, 8), (30, 7), (30, 8)]
+        );
     }
 
     #[test]
     fn bounded_pool_preserves_job_order_with_more_jobs_than_cores() {
         let configs: Vec<ScenarioConfig> = (1..=9).map(|seed| tiny().with_seed(seed)).collect();
-        let reports = run_configs_parallel(configs);
+        let reports = Runner::configs(configs).run();
         assert_eq!(reports.len(), 9);
         for (i, report) in reports.iter().enumerate() {
             assert_eq!(report.seed, i as u64 + 1);
         }
     }
 
+    /// Regression test for result ordering under adversarial completion
+    /// order: the first job is much heavier than the rest, so with 2+
+    /// workers every later job *completes* before job 0 does. The returned
+    /// reports must still be in input order (the sweep journal replays
+    /// reports positionally).
+    #[test]
+    fn job_order_preserved_when_completion_order_differs() {
+        let mut heavy = tiny().with_seed(1);
+        heavy.horizon = SimTime::from_secs(2_000);
+        let mut configs = vec![heavy.clone()];
+        for seed in 2..=6 {
+            let mut light = tiny().with_seed(seed);
+            light.horizon = SimTime::from_secs(150);
+            configs.push(light);
+        }
+        let reports = Runner::configs(configs).parallelism(3).run();
+        assert_eq!(reports.len(), 6);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.seed, i as u64 + 1, "report {i} out of input order");
+        }
+        // The heavy job really was the long one (sanity check on the setup).
+        assert!(reports[0].end_secs > reports[1].end_secs);
+    }
+
     #[test]
     fn parallel_runner_matches_serial() {
         let config = tiny();
-        let serial = run_seeds(&config, &[7, 8, 9]);
-        let parallel = run_seeds_parallel(&config, &[7, 8, 9]);
+        let serial = Runner::new(config.clone())
+            .seeds(&[7, 8, 9])
+            .parallelism(1)
+            .run();
+        let parallel = Runner::new(config).seeds(&[7, 8, 9]).run();
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.seed, b.seed);
@@ -178,5 +368,25 @@ mod tests {
             assert_eq!(a.node_stats, b.node_stats);
             assert_eq!(a.medium, b.medium);
         }
+    }
+
+    /// The pre-facade free functions must keep compiling and agreeing with
+    /// the facade (they are `#[deprecated]` shims, not removed API).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let config = tiny();
+        let one = run_one(config.clone().with_seed(3));
+        assert_eq!(one.seed, 3);
+        let serial = run_seeds(&config, &[3, 4]);
+        let parallel = run_seeds_parallel(&config, &[3, 4]);
+        let via_configs =
+            run_configs_parallel(vec![config.clone().with_seed(3), config.with_seed(4)]);
+        assert_eq!(serial.len(), 2);
+        for ((a, b), c) in serial.iter().zip(&parallel).zip(&via_configs) {
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.samples, c.samples);
+        }
+        assert_eq!(one.samples, serial[0].samples);
     }
 }

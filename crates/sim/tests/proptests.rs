@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use peas_des::time::SimTime;
-use peas_sim::{run_one, BatterySpec, FailureConfig, ScenarioConfig};
+use peas_sim::{BatterySpec, FailureConfig, Runner, ScenarioConfig};
 
 fn arb_scenario() -> impl Strategy<Value = ScenarioConfig> {
     (
@@ -36,7 +36,7 @@ proptest! {
     /// Core run invariants hold for arbitrary scenarios.
     #[test]
     fn run_invariants(config in arb_scenario()) {
-        let report = run_one(config.clone());
+        let report = Runner::new(config.clone()).run_single();
         // Samples advance in time.
         for w in report.samples.windows(2) {
             prop_assert!(w[0].t_secs < w[1].t_secs);
@@ -74,8 +74,8 @@ proptest! {
     /// Bit-for-bit determinism for arbitrary scenarios.
     #[test]
     fn runs_are_reproducible(config in arb_scenario()) {
-        let a = run_one(config.clone());
-        let b = run_one(config);
+        let a = Runner::new(config.clone()).run_single();
+        let b = Runner::new(config).run_single();
         prop_assert_eq!(a.samples, b.samples);
         prop_assert_eq!(a.node_stats, b.node_stats);
         prop_assert_eq!(a.medium, b.medium);
@@ -88,7 +88,7 @@ proptest! {
     /// overhead is consistent with its parts.
     #[test]
     fn overhead_is_a_fraction(config in arb_scenario()) {
-        let report = run_one(config);
+        let report = Runner::new(config).run_single();
         let ratio = report.overhead_ratio();
         prop_assert!((0.0..=1.0).contains(&ratio), "ratio {ratio}");
         prop_assert!(report.overhead_j() <= report.ledger.total_j() + 1e-9);

@@ -1,0 +1,157 @@
+//! Contract test for the versioned `RunReport` wire form (`schema = 1`).
+//!
+//! The sweep checkpoint journal and `scenario run --json` both persist
+//! reports in this form, so its key names and their order are a
+//! compatibility contract: a rename or reorder silently invalidates
+//! every journal on disk. This test pins the exact key sequence — if it
+//! fails, either revert the serializer change or bump
+//! [`peas_sim::REPORT_SCHEMA`] and teach the decoder both versions.
+
+use peas_des::time::SimTime;
+use peas_sim::{decode_report, encode_report, Runner, ScenarioConfig, REPORT_SCHEMA};
+
+fn sample_report() -> peas_sim::RunReport {
+    let mut config = ScenarioConfig::small();
+    config.node_count = 25;
+    config.horizon = SimTime::from_secs(300);
+    Runner::new(config.with_seed(7)).run_single()
+}
+
+/// Every `"key":` occurrence in encoding order. Object nesting does not
+/// matter for the contract — a journal written by one build must decode
+/// in the next, which requires the flat key stream to be stable.
+fn key_stream(encoded: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = encoded.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if bytes.get(j + 1) == Some(&b':') {
+                keys.push(encoded[start..j].to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+#[test]
+fn schema_version_is_pinned() {
+    assert_eq!(REPORT_SCHEMA, 1);
+}
+
+#[test]
+fn serialized_report_key_names_and_order_are_pinned() {
+    let report = sample_report();
+    let encoded = encode_report(&report);
+    let keys = key_stream(&encoded);
+
+    // Top-level prefix, in order.
+    let head = [
+        "schema",
+        "node_count",
+        "seed",
+        "samples",
+        "t_secs",
+        "coverage",
+        "working",
+        "sleeping",
+        "alive",
+        "delivery_ratio",
+        "total_wakeups",
+    ];
+    assert_eq!(
+        &keys[..head.len()],
+        &head,
+        "schema-1 prefix drifted in {encoded:.120}"
+    );
+
+    // Per-sample keys repeat identically for every sample.
+    let per_sample = &head[4..];
+    let samples = report.samples.len();
+    assert!(samples >= 2, "sample config should record several samples");
+    for s in 0..samples {
+        let at = 4 + s * per_sample.len();
+        assert_eq!(
+            &keys[at..at + per_sample.len()],
+            per_sample,
+            "sample #{s} keys drifted"
+        );
+    }
+
+    // Everything after the samples array, in order: the aggregate
+    // node_stats object, the energy ledger, the medium census and the
+    // scalar tail.
+    let tail = [
+        "node_stats",
+        "wakeups",
+        "probes_sent",
+        "replies_sent",
+        "probes_heard",
+        "replies_heard",
+        "measurements",
+        "window_with_reply",
+        "window_silent",
+        "turnoffs",
+        "replies_overheard",
+        "ledger_j",
+        "protocol_tx",
+        "protocol_rx",
+        "protocol_idle",
+        "app_tx",
+        "app_rx",
+        "working_idle",
+        "sleep",
+        "consumed_j",
+        "medium",
+        "frames_sent",
+        "deliveries_ok",
+        "collisions",
+        "random_losses",
+        "failures_injected",
+        "energy_deaths",
+        "generated_reports",
+        "delivered_reports",
+        "events_total",
+        "events_detected",
+        "events_delivered",
+        "end_secs",
+        "events_processed",
+    ];
+    let tail_at = 4 + samples * per_sample.len();
+    assert_eq!(&keys[tail_at..], &tail, "schema-1 suffix drifted");
+}
+
+#[test]
+fn decode_inverts_encode_exactly() {
+    let report = sample_report();
+    let encoded = encode_report(&report);
+    let decoded = decode_report(&encoded).expect("well-formed schema-1 line");
+    assert_eq!(decoded, report, "decode(encode(r)) must equal r");
+    assert_eq!(
+        encode_report(&decoded),
+        encoded,
+        "re-encoding must be byte-identical"
+    );
+}
+
+#[test]
+fn unknown_schema_versions_are_rejected() {
+    let report = sample_report();
+    let encoded = encode_report(&report).replacen("\"schema\":1", "\"schema\":2", 1);
+    let err = decode_report(&encoded).expect_err("schema 2 must be rejected");
+    assert!(
+        err.contains("unsupported report schema"),
+        "unexpected error: {err}"
+    );
+}

@@ -6,7 +6,7 @@
 //! cargo test --release --test paper_scale -- --ignored
 //! ```
 
-use peas_repro::simulation::{run_one, run_seeds, ScenarioConfig};
+use peas_repro::simulation::{Runner, ScenarioConfig};
 
 const THRESHOLD: f64 = 0.9;
 
@@ -14,7 +14,9 @@ const THRESHOLD: f64 = 0.9;
 #[ignore = "paper-scale; run with --ignored in release mode"]
 fn figure_9_lifetime_grows_linearly_with_population() {
     let life = |n: usize| {
-        let reports = run_seeds(&ScenarioConfig::paper(n), &[101, 102]);
+        let reports = Runner::new(ScenarioConfig::paper(n))
+            .seeds(&[101, 102])
+            .run();
         reports
             .iter()
             .map(|r| r.coverage_lifetime(4, THRESHOLD))
@@ -39,10 +41,9 @@ fn figure_9_lifetime_grows_linearly_with_population() {
 #[ignore = "paper-scale; run with --ignored in release mode"]
 fn figure_12_lifetime_survives_38_percent_failures() {
     let life = |rate: f64| {
-        let reports = run_seeds(
-            &ScenarioConfig::paper(480).with_failure_rate(rate),
-            &[101, 102],
-        );
+        let reports = Runner::new(ScenarioConfig::paper(480).with_failure_rate(rate))
+            .seeds(&[101, 102])
+            .run();
         reports
             .iter()
             .map(|r| r.coverage_lifetime(4, THRESHOLD))
@@ -65,7 +66,7 @@ fn figure_12_lifetime_survives_38_percent_failures() {
 #[ignore = "paper-scale; run with --ignored in release mode"]
 fn table_1_overhead_stays_below_one_percent() {
     for n in [160usize, 800] {
-        let report = run_one(ScenarioConfig::paper(n).with_seed(101));
+        let report = Runner::new(ScenarioConfig::paper(n).with_seed(101)).run_single();
         let ratio = report.overhead_ratio();
         assert!(ratio < 0.01, "N={n}: overhead ratio {ratio}");
         assert!(ratio > 0.0005, "N={n}: implausibly low overhead {ratio}");
@@ -75,7 +76,7 @@ fn table_1_overhead_stays_below_one_percent() {
 #[test]
 #[ignore = "paper-scale; run with --ignored in release mode"]
 fn figure_10_delivery_lifetime_tracks_coverage() {
-    let report = run_one(ScenarioConfig::paper(480).with_seed(101));
+    let report = Runner::new(ScenarioConfig::paper(480).with_seed(101)).run_single();
     let cov4 = report.coverage_lifetime(4, THRESHOLD);
     let delivery = report.delivery_lifetime(THRESHOLD);
     assert!(delivery > 0.6 * cov4, "delivery {delivery} vs cov4 {cov4}");
@@ -87,7 +88,7 @@ fn figure_10_delivery_lifetime_tracks_coverage() {
 fn soak_800_nodes_to_extinction() {
     // Run the largest paper scenario until every sensor is dead and check
     // the end-state invariants hold over the whole multi-generation life.
-    let report = run_one(ScenarioConfig::paper(800).with_seed(103));
+    let report = Runner::new(ScenarioConfig::paper(800).with_seed(103)).run_single();
     let last = report.samples.last().expect("samples recorded");
     assert_eq!(last.alive, 0, "the run should end with everyone dead");
     assert!(

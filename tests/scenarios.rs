@@ -15,7 +15,7 @@ use peas_repro::des::time::SimTime;
 use peas_repro::scenario::{
     first_divergence, load_compiled, sample_fingerprint, CompiledScenario, Snapshot,
 };
-use peas_repro::simulation::{run_one, ScenarioConfig};
+use peas_repro::simulation::{Runner, ScenarioConfig};
 
 fn repo_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -64,6 +64,7 @@ fn corpus_contains_the_documented_scenarios() {
         "fig9.peas",
         "shadowing.peas",
         "smoke.peas",
+        "sweep-smoke.peas",
         "table1.peas",
     ];
     let actual: Vec<String> = corpus_paths()
@@ -99,7 +100,7 @@ fn corpus_matches_committed_golden_snapshots() {
         });
         let expected = Snapshot::parse(&committed)
             .unwrap_or_else(|e| panic!("{}: malformed golden: {e}", golden_path.display()));
-        let actual = Snapshot::of_report(&run_one(scenario.golden_config()));
+        let actual = Snapshot::of_report(&Runner::new(scenario.golden_config()).run_single());
         if let Some(divergence) = first_divergence(&expected, &actual) {
             panic!(
                 "scenario {} drifted from its golden snapshot: {divergence}. \
@@ -183,8 +184,8 @@ fn sweep_point_fingerprints_are_byte_identical() {
     from_dsl.horizon = SimTime::from_secs(600);
     from_rust.horizon = SimTime::from_secs(600);
     assert_eq!(
-        sample_fingerprint(&run_one(from_dsl)),
-        sample_fingerprint(&run_one(from_rust)),
+        sample_fingerprint(&Runner::new(from_dsl).run_single()),
+        sample_fingerprint(&Runner::new(from_rust).run_single()),
         "fig9.peas N=320/seed=102 must replay the Rust config bit for bit"
     );
 }
@@ -265,7 +266,7 @@ fn example_scenarios_match_their_rust_twins() {
     dsl.horizon = SimTime::from_secs(500);
     rust.horizon = SimTime::from_secs(500);
     assert_eq!(
-        sample_fingerprint(&run_one(dsl)),
-        sample_fingerprint(&run_one(rust))
+        sample_fingerprint(&Runner::new(dsl).run_single()),
+        sample_fingerprint(&Runner::new(rust).run_single())
     );
 }

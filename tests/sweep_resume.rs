@@ -1,0 +1,147 @@
+//! Tier-1 kill/resume conformance for the sharded sweep engine: a sweep
+//! interrupted mid-journal (torn final line, exactly what a SIGKILL
+//! mid-write leaves behind) and then resumed must merge into reports
+//! byte-identical — via the schema-1 serialized form — to an
+//! uninterrupted single-process run. The CI `sweep-resume` job proves
+//! the same property across real worker processes with
+//! `peas-bench sweep run sweep-smoke.peas --kill-worker`.
+
+use std::fs::OpenOptions;
+use std::io::Read;
+use std::path::PathBuf;
+
+use peas_repro::scenario::load_compiled;
+use peas_repro::simulation::{encode_report, Runner, SweepSession};
+
+fn scenario_runs() -> Vec<(String, peas_repro::simulation::ScenarioConfig)> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios/sweep-smoke.peas");
+    let compiled = load_compiled(&path).expect("sweep-smoke.peas must compile");
+    compiled
+        .runs()
+        .into_iter()
+        .map(|run| (run.label, run.config))
+        .collect()
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("peas-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The headline acceptance criterion: interrupt a sweep by truncating
+/// its journal mid-line (a torn write), resume, and the merged reports
+/// are byte-identical to an uninterrupted run's.
+#[test]
+fn interrupted_then_resumed_sweep_is_byte_identical_to_uninterrupted() {
+    let runs = scenario_runs();
+    assert_eq!(runs.len(), 4, "sweep-smoke expands to 2 values x 2 seeds");
+
+    // Reference: uninterrupted single-process run, no journal at all.
+    let configs: Vec<_> = runs.iter().map(|(_, c)| c.clone()).collect();
+    let reference: Vec<String> = Runner::configs(configs)
+        .run()
+        .iter()
+        .map(encode_report)
+        .collect();
+
+    // Sharded run over two worker slots; worker 0 completes, worker 1's
+    // segment is then torn mid-line to simulate a SIGKILL mid-write.
+    let dir = temp_journal("kill");
+    let session = SweepSession::create(&dir, runs.clone()).expect("create session");
+    session.run_worker(0, 2, None).expect("worker 0");
+    session.run_worker(1, 2, None).expect("worker 1");
+
+    let segment = session.segment_path(1);
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&segment)
+        .expect("open worker-1 segment");
+    let mut text = String::new();
+    file.read_to_string(&mut text).expect("read segment");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "worker 1 owns shards 1 and 3");
+    // Keep the first line and half of the second: a torn final record.
+    let keep = lines[0].len() + 1 + lines[1].len() / 2;
+    file.set_len(keep as u64).expect("truncate");
+    drop(file);
+
+    let (done, total) = session.progress().expect("progress");
+    assert_eq!((done, total), (3, 4), "the torn shard no longer counts");
+    assert_eq!(session.pending().expect("pending"), vec![3]);
+
+    // Resume with a *different* worker topology (one slot) — the journal
+    // is topology-independent, only pending shards re-run.
+    let resumed = SweepSession::create(&dir, runs).expect("reopen session");
+    let reran = resumed.run_worker(0, 1, None).expect("resume worker");
+    assert_eq!(reran, 1, "resume re-runs exactly the torn shard");
+
+    let merged: Vec<String> = resumed
+        .merged()
+        .expect("complete after resume")
+        .iter()
+        .map(encode_report)
+        .collect();
+    assert_eq!(
+        merged, reference,
+        "resumed sweep must be byte-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fully-journaled sweep re-opened with `create` runs nothing new and
+/// still merges identically (the `--resume` no-op path).
+#[test]
+fn resume_of_a_complete_journal_runs_nothing() {
+    let runs = scenario_runs();
+    let dir = temp_journal("noop");
+    let session = SweepSession::create(&dir, runs.clone()).expect("create session");
+    session.run_worker(0, 1, None).expect("fill journal");
+    let merged: Vec<String> = session
+        .merged()
+        .expect("complete")
+        .iter()
+        .map(encode_report)
+        .collect();
+
+    let reopened = SweepSession::create(&dir, runs).expect("reopen");
+    assert_eq!(reopened.run_worker(0, 1, None).expect("no-op"), 0);
+    let again: Vec<String> = reopened
+        .merged()
+        .expect("still complete")
+        .iter()
+        .map(encode_report)
+        .collect();
+    assert_eq!(again, merged);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The scenario-side shard enumeration (`runs_for_shard`) and the
+/// session-side worker rule (`index % workers == worker`) agree: shards
+/// journaled by session workers land exactly where `runs_for_shard`
+/// says they belong.
+#[test]
+fn scenario_shards_match_session_worker_assignment() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios/sweep-smoke.peas");
+    let compiled = load_compiled(&path).expect("sweep-smoke.peas must compile");
+    let all = compiled.runs();
+    for workers in 1..=3 {
+        for worker in 0..workers {
+            let mine: Vec<String> = compiled
+                .runs_for_shard(worker, workers)
+                .into_iter()
+                .map(|r| r.label)
+                .collect();
+            let expected: Vec<String> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % workers == worker)
+                .map(|(_, r)| r.label.clone())
+                .collect();
+            assert_eq!(mine, expected, "slot {worker}/{workers}");
+        }
+    }
+}
