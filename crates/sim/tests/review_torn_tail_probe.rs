@@ -1,0 +1,66 @@
+//! Review probe: does resuming onto a segment with a torn (newline-less)
+//! tail swallow the re-run shard's journal record?
+
+use std::fs::OpenOptions;
+use std::io::Read;
+use std::path::PathBuf;
+
+use peas_des::time::SimTime;
+use peas_sim::{ScenarioConfig, SweepSession};
+
+fn tiny(seed: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::small();
+    c.node_count = 25;
+    c.horizon = SimTime::from_secs(300);
+    c.with_seed(seed)
+}
+
+#[test]
+fn resume_onto_torn_tail_of_same_segment() {
+    let dir: PathBuf = std::env::temp_dir().join(format!("peas-review-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let runs = vec![
+        ("s1".to_string(), tiny(1)),
+        ("s2".to_string(), tiny(2)),
+    ];
+    let session = SweepSession::create(&dir, runs.clone()).expect("create");
+    // Single worker slot journals both shards into worker-0.jsonl.
+    assert_eq!(session.run_worker(0, 1, None).expect("run"), 2);
+
+    // Tear the final line mid-record, exactly like a SIGKILL mid-write:
+    // keep line 1 + newline + half of line 2, NO trailing newline.
+    let segment = session.segment_path(0);
+    let mut text = String::new();
+    OpenOptions::new()
+        .read(true)
+        .open(&segment)
+        .expect("open")
+        .read_to_string(&mut text)
+        .expect("read");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let keep = lines[0].len() + 1 + lines[1].len() / 2;
+    OpenOptions::new()
+        .write(true)
+        .open(&segment)
+        .expect("reopen")
+        .set_len(keep as u64)
+        .expect("truncate");
+
+    // Resume with the SAME topology (the default for a real crash):
+    // shard 1 is pending and is re-run by worker slot 0, appending to the
+    // torn segment.
+    let resumed = SweepSession::create(&dir, runs).expect("reopen");
+    assert_eq!(resumed.pending().expect("pending"), vec![1]);
+    assert_eq!(resumed.run_worker(0, 1, None).expect("resume"), 1);
+
+    // The re-run record should now be visible; if the torn tail swallowed
+    // it, pending() still reports shard 1 and merged() fails.
+    let pending_after = resumed.pending().expect("pending after resume");
+    assert_eq!(
+        pending_after,
+        Vec::<usize>::new(),
+        "BUG CONFIRMED: the record appended after a torn tail is unreadable"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
