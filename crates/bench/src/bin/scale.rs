@@ -1,0 +1,240 @@
+//! Scale-ladder benchmark: runs the `scenarios/scale-1m.peas` tiers
+//! (10k / 100k / 1M nodes) in ascending order and writes per-tier
+//! events/sec, peak RSS and precomputed-table bytes to `BENCH_scale.json`.
+//!
+//! Usage:
+//!   scale [--tiers 10000,100000,1000000] [--horizons 400,100,30]
+//!         [--out PATH] [--min-events-per-sec F] [--max-rss-mb M]
+//!
+//! `--tiers` selects a subset of the scenario's sweep values (the CI
+//! scale-smoke job runs `--tiers 10000` only); `--horizons` overrides the
+//! simulated horizon per selected tier, positionally. The assertion flags
+//! turn the bench into a regression gate: after all tiers ran, exit
+//! non-zero if any tier fell below the events/sec floor or the process
+//! peak RSS exceeded the ceiling.
+//!
+//! Peak RSS is read from `/proc/self/status` (`VmHWM`) and is a process
+//! high-water mark: tiers run smallest-first, so each tier's reading is
+//! the peak over itself and every smaller tier before it.
+
+use std::path::Path;
+use std::time::Instant;
+
+use peas_des::time::SimTime;
+use peas_scenario::load_compiled;
+use peas_sim::World;
+
+struct Args {
+    tiers: Vec<usize>,
+    horizons: Vec<u64>,
+    out: String,
+    min_events_per_sec: Option<f64>,
+    max_rss_mb: Option<u64>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            tiers: vec![10_000, 100_000, 1_000_000],
+            horizons: vec![400, 100, 30],
+            out: "BENCH_scale.json".to_string(),
+            min_events_per_sec: None,
+            max_rss_mb: None,
+        };
+        let mut horizons_given = false;
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--tiers" => {
+                    args.tiers = value("--tiers")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad --tiers"))
+                        .collect()
+                }
+                "--horizons" => {
+                    horizons_given = true;
+                    args.horizons = value("--horizons")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad --horizons"))
+                        .collect()
+                }
+                "--out" => args.out = value("--out"),
+                "--min-events-per-sec" => {
+                    args.min_events_per_sec =
+                        Some(value("--min-events-per-sec").parse().expect("bad floor"))
+                }
+                "--max-rss-mb" => {
+                    args.max_rss_mb = Some(value("--max-rss-mb").parse().expect("bad ceiling"))
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(!args.tiers.is_empty(), "need at least one tier");
+        if !horizons_given {
+            // Default horizons are positional over the full ladder; when a
+            // subset of tiers is selected, keep each tier's own default.
+            let defaults = [(10_000, 400), (100_000, 100), (1_000_000, 30)];
+            args.horizons = args
+                .tiers
+                .iter()
+                .map(|&t| {
+                    defaults
+                        .iter()
+                        .find(|&&(n, _)| n == t)
+                        .map_or(60, |&(_, h)| h)
+                })
+                .collect();
+        }
+        assert_eq!(
+            args.tiers.len(),
+            args.horizons.len(),
+            "--horizons must list one value per selected tier"
+        );
+        args
+    }
+}
+
+/// Peak resident set size in bytes from `/proc/self/status` (`VmHWM`),
+/// or `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+struct TierResult {
+    nodes: usize,
+    horizon_secs: u64,
+    build_secs: f64,
+    run_secs: f64,
+    events_processed: u64,
+    total_wakeups: u64,
+    events_per_sec: f64,
+    table_bytes: usize,
+    peak_rss_bytes: Option<u64>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scenario_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/scale-1m.peas");
+    let scenario = load_compiled(&scenario_path).expect("scale-1m.peas must compile");
+    let runs = scenario.runs();
+
+    let mut tiers: Vec<(usize, u64)> = args
+        .tiers
+        .iter()
+        .zip(&args.horizons)
+        .map(|(&t, &h)| (t, h))
+        .collect();
+    // Ascending order keeps the VmHWM high-water mark meaningful per tier.
+    tiers.sort_unstable();
+
+    let mut results = Vec::new();
+    for (nodes, horizon_secs) in tiers {
+        let run = runs
+            .iter()
+            .find(|r| r.config.node_count == nodes)
+            .unwrap_or_else(|| panic!("tier {nodes} is not a scale-1m.peas sweep value"));
+        let mut config = run.config.clone();
+        config.horizon = SimTime::from_secs(horizon_secs);
+
+        eprintln!("tier {nodes}: building world...");
+        let build_start = Instant::now();
+        let mut world = World::new(config);
+        let build_secs = build_start.elapsed().as_secs_f64();
+        let table_bytes = world.topology_memory_bytes();
+
+        eprintln!(
+            "tier {nodes}: built in {build_secs:.2}s ({:.1} MiB of tables); \
+             running {horizon_secs}s horizon...",
+            table_bytes as f64 / (1024.0 * 1024.0)
+        );
+        let run_start = Instant::now();
+        world.run_until(SimTime::from_secs(horizon_secs));
+        let run_secs = run_start.elapsed().as_secs_f64();
+        let report = world.into_report();
+
+        let events_per_sec = report.events_processed as f64 / run_secs;
+        eprintln!(
+            "tier {nodes}: {} events in {run_secs:.2}s = {events_per_sec:.0} events/sec",
+            report.events_processed
+        );
+        results.push(TierResult {
+            nodes,
+            horizon_secs,
+            build_secs,
+            run_secs,
+            events_processed: report.events_processed,
+            total_wakeups: report.total_wakeups(),
+            events_per_sec,
+            table_bytes,
+            peak_rss_bytes: peak_rss_bytes(),
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"scenario\": \"scenarios/scale-1m.peas\",\n  \"tiers\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"nodes\": {},\n", r.nodes));
+        json.push_str(&format!("      \"horizon_secs\": {},\n", r.horizon_secs));
+        json.push_str(&format!("      \"build_secs\": {:.3},\n", r.build_secs));
+        json.push_str(&format!("      \"run_secs\": {:.3},\n", r.run_secs));
+        json.push_str(&format!(
+            "      \"events_processed\": {},\n",
+            r.events_processed
+        ));
+        json.push_str(&format!("      \"total_wakeups\": {},\n", r.total_wakeups));
+        json.push_str(&format!("      \"table_bytes\": {},\n", r.table_bytes));
+        match r.peak_rss_bytes {
+            Some(b) => json.push_str(&format!("      \"peak_rss_bytes\": {b},\n")),
+            None => json.push_str("      \"peak_rss_bytes\": null,\n"),
+        }
+        json.push_str(&format!(
+            "      \"events_per_sec\": {:.1}\n",
+            r.events_per_sec
+        ));
+        json.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {}", args.out);
+
+    let mut failed = false;
+    if let Some(floor) = args.min_events_per_sec {
+        for r in &results {
+            if r.events_per_sec < floor {
+                eprintln!(
+                    "FAIL: tier {} ran at {:.0} events/sec, below the {floor:.0} floor",
+                    r.nodes, r.events_per_sec
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(ceiling_mb) = args.max_rss_mb {
+        let peak = results.iter().filter_map(|r| r.peak_rss_bytes).max();
+        if let Some(peak) = peak {
+            if peak > ceiling_mb * 1024 * 1024 {
+                eprintln!(
+                    "FAIL: peak RSS {} MiB exceeds the {ceiling_mb} MiB ceiling",
+                    peak / (1024 * 1024)
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,155 @@
+//! A free-list slab for in-flight event payloads.
+//!
+//! Heap entries in the event queue are copied every sift, so a fat
+//! payload (a message plus routing metadata) multiplies the cost of
+//! every `schedule`/`pop` at million-node scale. [`Arena`] parks the fat
+//! value in a slot vector and hands out a `u32` handle; the queue entry
+//! carries only the handle. Slots are recycled through a free list, so
+//! the arena's footprint tracks the *peak* number of in-flight payloads,
+//! not the total ever allocated.
+//!
+//! Handles are single-use: [`Arena::take`] vacates the slot and pushes
+//! it onto the free list. Determinism note: the free list is LIFO, so
+//! the handle values an identical run allocates are themselves
+//! identical — handles can appear in event payloads without perturbing
+//! reproducibility.
+//!
+//! # Examples
+//!
+//! ```
+//! use peas_des::arena::Arena;
+//!
+//! let mut arena: Arena<&str> = Arena::new();
+//! let a = arena.alloc("probe");
+//! let b = arena.alloc("reply");
+//! assert_eq!(arena.take(a), "probe");
+//! // `a`'s slot is recycled before a fresh one is carved.
+//! let c = arena.alloc("report");
+//! assert_eq!(c, a);
+//! assert_eq!(arena.take(b), "reply");
+//! assert_eq!(arena.take(c), "report");
+//! assert_eq!(arena.len(), 0);
+//! ```
+
+/// A slab of `T` slots addressed by dense `u32` handles with LIFO slot
+/// reuse. See the [module docs](self) for the design rationale.
+#[derive(Debug)]
+pub struct Arena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Arena<T> {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `value` and returns its handle, reusing the most recently
+    /// freed slot when one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` values are live at once.
+    pub fn alloc(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(value);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len())
+                    // peas-lint: allow(r1-unchecked-panic) -- 4 billion live in-flight payloads exceeds any feasible event queue
+                    .expect("arena overflow: more than u32::MAX live payloads");
+                self.slots.push(Some(value));
+                slot
+            }
+        }
+    }
+
+    /// Removes and returns the value behind `handle`, recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` is vacant or was never issued — handles are
+    /// single-use, so a double `take` is a logic error in the caller.
+    pub fn take(&mut self, handle: u32) -> T {
+        let value = self.slots[handle as usize]
+            .take()
+            // peas-lint: allow(r1-unchecked-panic) -- a vacant handle means a scheduling-site bug, not a runtime condition
+            .expect("arena handle taken twice");
+        self.free.push(handle);
+        value
+    }
+
+    /// Shared access to the value behind `handle`, if the slot is live.
+    pub fn get(&self, handle: u32) -> Option<&T> {
+        self.slots.get(handle as usize).and_then(Option::as_ref)
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots ever carved (the peak of `len` over the arena's life).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_take_round_trips() {
+        let mut arena = Arena::new();
+        let a = arena.alloc(10);
+        let b = arena.alloc(20);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a), Some(&10));
+        assert_eq!(arena.take(a), 10);
+        assert_eq!(arena.get(a), None);
+        assert_eq!(arena.take(b), 20);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn slots_recycle_lifo() {
+        let mut arena = Arena::new();
+        let a = arena.alloc("a");
+        let b = arena.alloc("b");
+        arena.take(a);
+        arena.take(b);
+        // LIFO: b's slot comes back first, then a's; capacity stays 2.
+        assert_eq!(arena.alloc("c"), b);
+        assert_eq!(arena.alloc("d"), a);
+        assert_eq!(arena.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_panics() {
+        let mut arena = Arena::new();
+        let a = arena.alloc(1);
+        arena.take(a);
+        arena.take(a);
+    }
+}

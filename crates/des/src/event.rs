@@ -18,6 +18,19 @@ use crate::time::SimTime;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// A sentinel id no queue ever issues (sequence numbers are dense from
+    /// zero, so `u64::MAX` is unreachable). Lets flat timer tables mark an
+    /// empty slot without the niche cost of `Option<EventId>` per entry;
+    /// cancelling it is a no-op (`EventQueue::cancel` returns `false`).
+    pub const NONE: EventId = EventId(u64::MAX);
+
+    /// Whether this is the [`EventId::NONE`] sentinel.
+    pub fn is_none(self) -> bool {
+        self == EventId::NONE
+    }
+}
+
 impl fmt::Debug for EventId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "EventId({})", self.0)

@@ -13,6 +13,8 @@
 //!   the samplers PEAS needs (exponential sleeping times, uniform backoffs,
 //!   normally distributed signal irregularity);
 //! * [`sim`] — the [`Simulator`] pull loop combining clock and queue;
+//! * [`arena`] — a free-list slab parking fat event payloads behind
+//!   `u32` handles so heap entries stay small;
 //! * [`detmap`] — [`DetMap`]/[`DetSet`], deterministic-iteration
 //!   replacements for the banned `std` hash collections (`peas-lint`
 //!   rule `d1-std-hash`).
@@ -43,12 +45,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod detmap;
 pub mod event;
 pub mod rng;
 pub mod sim;
 pub mod time;
 
+pub use arena::Arena;
 pub use detmap::{DetMap, DetSet};
 pub use event::{EventId, EventQueue, Fired};
 pub use rng::SimRng;
@@ -57,6 +61,7 @@ pub use time::{SimDuration, SimTime};
 
 /// Convenience re-exports for simulator-driving code.
 pub mod prelude {
+    pub use crate::arena::Arena;
     pub use crate::detmap::{DetMap, DetSet};
     pub use crate::event::{EventId, Fired};
     pub use crate::rng::SimRng;

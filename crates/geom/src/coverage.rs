@@ -336,25 +336,51 @@ impl CoverageCsr {
     /// # Panics
     ///
     /// Panics if `sensing_range` is not strictly positive and finite.
+    ///
+    /// Large topologies (≥ [`crate::par::PARALLEL_BUILD_THRESHOLD`] nodes)
+    /// rasterize their rows on a bounded worker pool, in node-index chunks
+    /// spliced back in chunk order — byte-identical to a serial build (see
+    /// [`crate::par`] for the memory budget).
     pub fn build(grid: &CoverageGrid, positions: &[Point], sensing_range: f64) -> CoverageCsr {
         assert!(
             sensing_range.is_finite() && sensing_range > 0.0,
             "sensing range must be positive, got {sensing_range}"
         );
-        let mut offsets = Vec::with_capacity(positions.len() + 1);
-        let mut cells = Vec::new();
-        offsets.push(0);
-        for &p in positions {
-            grid.disc_cells_into(p, sensing_range, &mut cells);
+        let workers = crate::par::build_workers(positions.len());
+        let chunks = crate::par::chunked_build(positions.len(), workers, |span| {
+            let mut cells = Vec::new();
+            let mut row_ends = Vec::with_capacity(span.len());
+            for &p in &positions[span] {
+                grid.disc_cells_into(p, sensing_range, &mut cells);
+                row_ends.push(cells.len());
+            }
+            (cells, row_ends)
+        });
+        let total: usize = chunks.iter().map(|(c, _)| c.len()).sum();
+        let _cap = u32::try_from(total)
             // peas-lint: allow(r1-unchecked-panic) -- u32 offsets are a deliberate CSR size cap; >4G cells means a misconfigured field
-            let end = u32::try_from(cells.len()).expect("more than u32::MAX covered cells");
-            offsets.push(end);
+            .expect("more than u32::MAX covered cells");
+        let mut offsets = Vec::with_capacity(positions.len() + 1);
+        let mut cells = Vec::with_capacity(total);
+        offsets.push(0);
+        for (chunk_cells, row_ends) in chunks {
+            let base = cells.len();
+            cells.extend_from_slice(&chunk_cells);
+            // Fits: base + end <= total, checked against u32 above.
+            offsets.extend(row_ends.iter().map(|&end| (base + end) as u32));
         }
         CoverageCsr {
             sample_count: grid.sample_count(),
             offsets,
             cells,
         }
+    }
+
+    /// Bytes of table payload: offsets plus one `u32` per (node, cell)
+    /// pair. The scale bench reports this as part of the per-topology
+    /// memory budget.
+    pub fn memory_bytes(&self) -> usize {
+        (self.offsets.len() + self.cells.len()) * std::mem::size_of::<u32>()
     }
 
     /// Number of nodes the table was built over.

@@ -47,6 +47,7 @@ pub mod deploy;
 pub mod field;
 pub mod grid;
 pub mod neighbors;
+pub mod par;
 pub mod point;
 pub mod three_d;
 pub mod unionfind;

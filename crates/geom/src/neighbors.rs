@@ -26,6 +26,7 @@
 //! negligible next to the event queue.
 
 use crate::grid::SpatialGrid;
+use crate::par;
 use crate::point::Point;
 
 /// One range class's CSR adjacency.
@@ -80,12 +81,18 @@ impl NeighborTables {
     ///
     /// Panics if any radius is not strictly positive and finite, or if the
     /// grid's entry count disagrees with `positions`.
+    ///
+    /// Large topologies (≥ [`par::PARALLEL_BUILD_THRESHOLD`] nodes) build
+    /// their rows on a bounded worker pool, in node-index chunks spliced
+    /// back in chunk order — the resulting tables are byte-identical to a
+    /// serial build (see [`par`] for the memory budget).
     pub fn build(grid: &SpatialGrid, positions: &[Point], radii: &[f64]) -> NeighborTables {
         assert_eq!(
             grid.len(),
             positions.len(),
             "grid entries must mirror positions"
         );
+        let workers = par::build_workers(positions.len());
         let tables = radii
             .iter()
             .map(|&radius| {
@@ -93,24 +100,43 @@ impl NeighborTables {
                     radius.is_finite() && radius > 0.0,
                     "neighbor radius must be positive, got {radius}"
                 );
+                // Per-chunk rows: edge lists plus chunk-local row ends.
+                let chunks = par::chunked_build(positions.len(), workers, |span| {
+                    let mut neighbors = Vec::new();
+                    let mut distances = Vec::new();
+                    let mut row_ends = Vec::with_capacity(span.len());
+                    for i in span {
+                        let p = positions[i];
+                        for (j, q) in grid.within_entries(p, radius) {
+                            if j == i {
+                                continue;
+                            }
+                            neighbors.push(j as u32);
+                            distances.push(p.distance(q));
+                        }
+                        row_ends.push(neighbors.len());
+                    }
+                    (neighbors, distances, row_ends)
+                });
+                let total: usize = chunks.iter().map(|(n, _, _)| n.len()).sum();
+                let _cap = u32::try_from(total)
+                    // peas-lint: allow(r1-unchecked-panic) -- u32 offsets are a deliberate CSR size cap; >4G edges means a misconfigured scenario
+                    .expect("more than u32::MAX edges in one class");
                 let mut csr = Csr {
                     offsets: Vec::with_capacity(positions.len() + 1),
-                    neighbors: Vec::new(),
-                    distances: Vec::new(),
+                    neighbors: Vec::with_capacity(total),
+                    distances: Vec::with_capacity(total),
                 };
                 csr.offsets.push(0);
-                for (i, &p) in positions.iter().enumerate() {
-                    for (j, q) in grid.within_entries(p, radius) {
-                        if j == i {
-                            continue;
-                        }
-                        csr.neighbors.push(j as u32);
-                        csr.distances.push(p.distance(q));
-                    }
-                    let end = u32::try_from(csr.neighbors.len())
-                        // peas-lint: allow(r1-unchecked-panic) -- u32 offsets are a deliberate CSR size cap; >4G edges means a misconfigured scenario
-                        .expect("more than u32::MAX edges in one class");
-                    csr.offsets.push(end);
+                // Splice in chunk order; each chunk buffer is freed as it is
+                // consumed, so transient memory stays bounded.
+                for (neighbors, distances, row_ends) in chunks {
+                    let base = csr.neighbors.len();
+                    csr.neighbors.extend_from_slice(&neighbors);
+                    csr.distances.extend_from_slice(&distances);
+                    // Fits: base + end <= total, checked against u32 above.
+                    csr.offsets
+                        .extend(row_ends.iter().map(|&end| (base + end) as u32));
                 }
                 csr
             })
@@ -120,6 +146,20 @@ impl NeighborTables {
             radii: radii.to_vec(),
             tables,
         }
+    }
+
+    /// Bytes of table payload across all classes: offsets plus per-edge id
+    /// and distance. The scale bench reports this as part of the
+    /// per-topology memory budget.
+    pub fn memory_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| {
+                t.offsets.len() * std::mem::size_of::<u32>()
+                    + t.neighbors.len() * std::mem::size_of::<u32>()
+                    + t.distances.len() * std::mem::size_of::<f64>()
+            })
+            .sum()
     }
 
     /// Number of nodes the tables were built over.

@@ -315,29 +315,49 @@ impl Medium {
         // broadcast.
         let reaches: Vec<f64> = classes.iter().map(|&r| channel.max_reach(r)).collect();
         let adjacency = NeighborTables::build(&grid, positions, &reaches);
+        // Narrow each physical edge through the channel model to the
+        // decodable set, exactly as the query path would per broadcast.
+        // Large topologies narrow on the same bounded chunk pool the
+        // adjacency build uses; `effective_distance` is a pure per-link
+        // function, so chunk-order splicing is byte-identical to a serial
+        // pass.
+        let workers = peas_geom::par::build_workers(positions.len());
         let tables = classes
             .iter()
             .enumerate()
             .map(|(class, &range)| {
+                let chunks = peas_geom::par::chunked_build(positions.len(), workers, |span| {
+                    let mut rows = Vec::new();
+                    let mut row_ends = Vec::with_capacity(span.len());
+                    for i in span {
+                        let ids = adjacency.neighbors(class, i);
+                        let dists = adjacency.distances(class, i);
+                        for (&j, &dist) in ids.iter().zip(dists) {
+                            let eff = channel.effective_distance(NodeId(i as u32), NodeId(j), dist);
+                            if eff <= range {
+                                rows.push(DecodeRow { rx: j, dist, eff });
+                            }
+                        }
+                        row_ends.push(rows.len());
+                    }
+                    (rows, row_ends)
+                });
+                let total: usize = chunks.iter().map(|(r, _)| r.len()).sum();
+                let _cap = u32::try_from(total)
+                    // peas-lint: allow(r1-unchecked-panic) -- u32 offsets are a deliberate CSR size cap; >4G edges means a misconfigured scenario
+                    .expect("more than u32::MAX decode rows in one class");
                 let mut t = DecodeTable {
                     range,
                     offsets: Vec::with_capacity(positions.len() + 1),
-                    rows: Vec::new(),
+                    rows: Vec::with_capacity(total),
                 };
                 t.offsets.push(0);
-                for i in 0..positions.len() {
-                    let ids = adjacency.neighbors(class, i);
-                    let dists = adjacency.distances(class, i);
-                    for (&j, &dist) in ids.iter().zip(dists) {
-                        let eff = channel.effective_distance(NodeId(i as u32), NodeId(j), dist);
-                        if eff <= range {
-                            t.rows.push(DecodeRow { rx: j, dist, eff });
-                        }
-                    }
-                    let end = u32::try_from(t.rows.len())
-                        // peas-lint: allow(r1-unchecked-panic) -- u32 offsets are a deliberate CSR size cap; >4G edges means a misconfigured scenario
-                        .expect("more than u32::MAX decode rows in one class");
-                    t.offsets.push(end);
+                for (chunk_rows, row_ends) in chunks {
+                    let base = t.rows.len();
+                    t.rows.extend_from_slice(&chunk_rows);
+                    // Fits: base + end <= total, checked against u32 above.
+                    t.offsets
+                        .extend(row_ends.iter().map(|&end| (base + end) as u32));
                 }
                 t
             })
@@ -379,6 +399,20 @@ impl Medium {
     /// Number of precomputed range classes.
     pub fn range_class_count(&self) -> usize {
         self.tables.len()
+    }
+
+    /// Bytes of precomputed decode-table payload across all range classes:
+    /// offsets plus one [`DecodeRow`]-sized entry per decodable (sender,
+    /// receiver) pair. The scale bench reports this as part of the
+    /// per-topology memory budget.
+    pub fn table_memory_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| {
+                t.offsets.len() * std::mem::size_of::<u32>()
+                    + t.rows.len() * std::mem::size_of::<DecodeRow>()
+            })
+            .sum()
     }
 
     /// Number of nodes on this medium.

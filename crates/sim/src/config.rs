@@ -208,6 +208,15 @@ impl ScenarioConfig {
         if self.node_count == 0 {
             return Err("node_count must be at least 1".into());
         }
+        // Node indices travel as u32 (NodeId, event payloads, CSR rows);
+        // reserve two ids above the sensors for the GRAB infrastructure.
+        if self.node_count > (u32::MAX - 2) as usize {
+            return Err(format!(
+                "node_count {} exceeds the u32 node-id space (max {})",
+                self.node_count,
+                u32::MAX - 2
+            ));
+        }
         if !(self.sensing_range.is_finite() && self.sensing_range > 0.0) {
             return Err("sensing_range must be positive".into());
         }
@@ -302,6 +311,16 @@ mod tests {
     #[test]
     fn small_scenario_is_valid() {
         assert!(ScenarioConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn node_count_beyond_u32_id_space_is_rejected() {
+        let mut c = ScenarioConfig::paper(10);
+        c.node_count = u32::MAX as usize; // leaves no room for source/sink ids
+        let err = c.validate().expect_err("must reject");
+        assert!(err.contains("u32 node-id space"), "{err}");
+        c.node_count = (u32::MAX - 2) as usize;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -291,12 +291,7 @@ impl SweepSession {
             let report = Runner::new(shard.config.clone()).run_single();
             let out = match &mut file {
                 Some(f) => f,
-                None => file.insert(
-                    fs::OpenOptions::new()
-                        .create(true)
-                        .append(true)
-                        .open(self.segment_path(worker))?,
-                ),
+                None => file.insert(open_segment_for_append(&self.segment_path(worker))?),
             };
             out.write_all(encode_journal_line(shard, &report).as_bytes())?;
             out.flush()?;
@@ -330,6 +325,33 @@ impl SweepSession {
             Err(SessionError::Incomplete { missing })
         }
     }
+}
+
+/// Opens a worker segment for appending, first truncating any torn
+/// (newline-less) tail a killed worker left behind. Appending directly
+/// after such a tail would fuse the new record onto the half-line,
+/// leaving *both* unreadable — the journal would never converge for that
+/// shard. Dropping the tail loses nothing: a torn line was never a
+/// complete record, and its shard is exactly what the resume re-runs.
+fn open_segment_for_append(path: &Path) -> io::Result<fs::File> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let keep = bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |pos| pos + 1);
+    if keep < bytes.len() {
+        file.set_len(keep as u64)?;
+    }
+    file.seek(SeekFrom::Start(keep as u64))?;
+    Ok(file)
 }
 
 /// Renders one journal line (newline-terminated) for a completed shard.

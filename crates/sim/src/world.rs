@@ -63,10 +63,36 @@ fn timer_index(timer: PeasTimer) -> usize {
     }
 }
 
+/// The single checked `usize → u32` conversion for node indices. Node
+/// ids travel as `u32` in event payloads, [`NodeId`]s and CSR rows;
+/// [`ScenarioConfig::validate`] bounds `node_count` below the id space
+/// (infrastructure included), so a failure here is a construction bug,
+/// not a runtime condition.
+fn node_u32(idx: usize) -> u32 {
+    // peas-lint: allow(r1-unchecked-panic) -- ScenarioConfig::validate rejects node counts beyond the u32 id space
+    u32::try_from(idx).expect("node index exceeds the u32 id space")
+}
+
+/// [`node_u32`] wrapped as a radio [`NodeId`].
+fn node_id(idx: usize) -> NodeId {
+    NodeId(node_u32(idx))
+}
+
 #[derive(Clone, Copy, Debug)]
 enum Payload {
     Peas(PeasMessage),
     Grab(GrabMessage),
+}
+
+/// A deferred transmission parked in the [`World::send_jobs`] arena. The
+/// heap entry carries only the arena handle, so the ~40-byte payload +
+/// range + retry count never ride through the binary heap's sifts.
+#[derive(Clone, Copy, Debug)]
+struct SendJob {
+    node: u32,
+    payload: Payload,
+    range: f64,
+    attempts: u8,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -74,13 +100,9 @@ enum Payload {
 enum Event {
     /// A PEAS timer fired for a sensor.
     NodeTimer { node: u32, timer: PeasTimer },
-    /// Try to put a frame on the air (fresh, carrier-backoff or GRAB-delayed).
-    SendAttempt {
-        node: u32,
-        payload: Payload,
-        range: f64,
-        attempts: u8,
-    },
+    /// Try to put a frame on the air (fresh, carrier-backoff or
+    /// GRAB-delayed); the fat [`SendJob`] sits in the arena.
+    SendAttempt { job: u32 },
     /// A transmission finished; resolve deliveries.
     TxDone { tx: TxId },
     /// Periodic sink cost-field flood.
@@ -95,21 +117,124 @@ enum Event {
     Sample,
 }
 
-struct SensorRt {
-    peas: PeasNode,
-    grab: Option<GrabRelay>,
-    battery: Battery,
-    ledger: EnergyLedger,
-    rng: SimRng,
-    /// Pending timer events, indexed by [`timer_index`].
-    timers: [Vec<EventId>; 4],
-    alive: bool,
+/// Flat per-node timer slots: `3 + probe_count` [`EventId`]s per node in
+/// one contiguous vector, laid out `[Wake, ReplyWindow, ReplyBackoff,
+/// ProbeSend × probe_count]`. The PEAS machine keeps at most one Wake,
+/// one ReplyWindow and one ReplyBackoff pending, and at most
+/// `probe_count` ProbeSends per wake burst, so the slots almost never
+/// overflow; the rare overlap (a stale burst still draining when a new
+/// one starts) spills losslessly into a short side list. Replaces four
+/// heap-allocated `Vec<EventId>`s per node — 1M nodes would have carried
+/// 4M vector headers plus their allocations.
+struct TimerTable {
+    slots: Vec<EventId>,
+    stride: usize,
+    /// Overflow `(node, class, id)` entries; order is irrelevant (lazy
+    /// cancellation only tombstones ids).
+    spill: Vec<(u32, u8, EventId)>,
+}
+
+impl TimerTable {
+    fn new(nodes: usize, probe_count: usize) -> TimerTable {
+        let stride = 3 + probe_count;
+        TimerTable {
+            slots: vec![EventId::NONE; nodes * stride],
+            stride,
+            spill: Vec::new(),
+        }
+    }
+
+    /// The slot range of `class` (a [`timer_index`]) within one node.
+    fn class_range(&self, class: usize) -> std::ops::Range<usize> {
+        match class {
+            0 => 0..1,           // Wake
+            2 => 1..2,           // ReplyWindow
+            3 => 2..3,           // ReplyBackoff
+            _ => 3..self.stride, // ProbeSend
+        }
+    }
+
+    fn insert(&mut self, node: u32, class: usize, id: EventId) {
+        let base = node as usize * self.stride;
+        let range = self.class_range(class);
+        for s in &mut self.slots[base + range.start..base + range.end] {
+            if s.is_none() {
+                *s = id;
+                return;
+            }
+        }
+        self.spill.push((node, class as u8, id));
+    }
+
+    /// Clears the slot holding `id` (a timer that just fired).
+    fn remove(&mut self, node: u32, class: usize, id: EventId) {
+        let base = node as usize * self.stride;
+        let range = self.class_range(class);
+        for s in &mut self.slots[base + range.start..base + range.end] {
+            if *s == id {
+                *s = EventId::NONE;
+                return;
+            }
+        }
+        if let Some(pos) = self.spill.iter().position(|&(_, _, sid)| sid == id) {
+            self.spill.swap_remove(pos);
+        }
+    }
+
+    /// Takes every pending id of `class`, feeding each to `cancel`.
+    fn cancel_class(&mut self, node: u32, class: usize, mut cancel: impl FnMut(EventId)) {
+        let base = node as usize * self.stride;
+        let range = self.class_range(class);
+        for s in &mut self.slots[base + range.start..base + range.end] {
+            if !s.is_none() {
+                cancel(std::mem::replace(s, EventId::NONE));
+            }
+        }
+        let mut i = 0;
+        while i < self.spill.len() {
+            let (n, c, id) = self.spill[i];
+            if n == node && c as usize == class {
+                cancel(id);
+                self.spill.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Struct-of-arrays storage for the per-sensor runtime state. One
+/// parallel vector per field keeps each event handler's working set
+/// dense — a timer fire touches the `alive`/`timers`/`battery` lanes
+/// without dragging the whole former `SensorRt` struct (PEAS machine,
+/// GRAB relay, ledger, RNG — several cache lines) through the cache.
+struct NodeStore {
+    peas: Vec<PeasNode>,
+    /// GRAB relays: length `node_count` when the workload is enabled
+    /// (the config enables it for all sensors or none), else empty.
+    grab: Vec<GrabRelay>,
+    battery: Vec<Battery>,
+    ledger: Vec<EnergyLedger>,
+    rng: Vec<SimRng>,
+    alive: Vec<bool>,
     /// Start of the not-yet-accounted baseline interval.
-    last_account: SimTime,
+    last_account: Vec<SimTime>,
     /// Baseline already covered by tx/rx charges up to this instant.
-    baseline_paid_until: SimTime,
+    baseline_paid_until: Vec<SimTime>,
     /// The node's radio is transmitting until this instant.
-    tx_busy_until: SimTime,
+    tx_busy_until: Vec<SimTime>,
+    /// Pending timer events for every node.
+    timers: TimerTable,
+}
+
+impl NodeStore {
+    fn len(&self) -> usize {
+        self.peas.len()
+    }
+
+    fn grab_mut(&mut self, idx: usize) -> Option<&mut GrabRelay> {
+        self.grab.get_mut(idx)
+    }
 }
 
 /// The running network simulation.
@@ -128,7 +253,11 @@ pub struct World {
     sim: Simulator<Event>,
     medium: Medium,
     positions: Vec<Point>,
-    sensors: Vec<SensorRt>,
+    nodes: NodeStore,
+    /// Fat payloads of scheduled [`Event::SendAttempt`]s. Send attempts
+    /// are never cancelled, so every `alloc` is paired with exactly one
+    /// `take` when the event fires.
+    send_jobs: Arena<SendJob>,
     source: Option<GrabSource>,
     sink: Option<GrabSink>,
     source_idx: usize,
@@ -236,34 +365,45 @@ impl World {
         );
 
         let mut sim = Simulator::new();
-        let mut sensors = Vec::with_capacity(config.node_count);
-        for i in 0..config.node_count {
-            let mut rt = SensorRt {
-                peas: PeasNode::new(NodeId(i as u32), config.peas.clone()),
-                grab: config.grab.as_ref().map(|g| GrabRelay::new(g.clone())),
-                battery: Battery::new(config.battery.draw(&mut battery_rng)),
-                ledger: EnergyLedger::new(),
-                rng: SimRng::stream(seed, 100 + i as u64),
-                timers: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
-                alive: true,
-                last_account: SimTime::ZERO,
-                baseline_paid_until: SimTime::ZERO,
-                tx_busy_until: SimTime::ZERO,
-            };
-            let actions = rt.peas.start(&mut rt.rng);
+        let n = config.node_count;
+        let mut nodes = NodeStore {
+            peas: Vec::with_capacity(n),
+            grab: Vec::with_capacity(if config.grab.is_some() { n } else { 0 }),
+            battery: Vec::with_capacity(n),
+            ledger: vec![EnergyLedger::new(); n],
+            rng: Vec::with_capacity(n),
+            alive: vec![true; n],
+            last_account: vec![SimTime::ZERO; n],
+            baseline_paid_until: vec![SimTime::ZERO; n],
+            tx_busy_until: vec![SimTime::ZERO; n],
+            timers: TimerTable::new(n, config.peas.probe_count as usize),
+        };
+        for i in 0..n {
+            // Same per-node order as ever: battery draw, then the node's
+            // own stream — RNG consumption is part of the golden contract.
+            let mut peas = PeasNode::new(NodeId(node_u32(i)), config.peas.clone());
+            if let Some(g) = &config.grab {
+                nodes.grab.push(GrabRelay::new(g.clone()));
+            }
+            nodes
+                .battery
+                .push(Battery::new(config.battery.draw(&mut battery_rng)));
+            let mut rng = SimRng::stream(seed, 100 + i as u64);
+            let actions = peas.start(&mut rng);
             for action in actions {
                 if let PeasAction::Schedule { timer, after } = action {
                     let id = sim.schedule_after(
                         after,
                         Event::NodeTimer {
-                            node: i as u32,
+                            node: node_u32(i),
                             timer,
                         },
                     );
-                    rt.timers[timer_index(timer)].push(id);
+                    nodes.timers.insert(node_u32(i), timer_index(timer), id);
                 }
             }
-            sensors.push(rt);
+            nodes.peas.push(peas);
+            nodes.rng.push(rng);
         }
 
         let (source, sink) = match &config.grab {
@@ -273,7 +413,7 @@ impl World {
                 }
                 sim.schedule_after(grab_cfg.report_period, Event::SourceReport);
                 (
-                    Some(GrabSource::new(NodeId(source_idx as u32), grab_cfg.clone())),
+                    Some(GrabSource::new(node_id(source_idx), grab_cfg.clone())),
                     Some(GrabSink::new()),
                 )
             }
@@ -285,17 +425,21 @@ impl World {
         let mut working_pos = Vec::new();
         let mut working_slot = vec![NOT_WORKING; config.node_count];
         let mut awake = vec![false; config.node_count];
-        for (i, s) in sensors.iter().enumerate() {
-            let mode = if s.alive { s.peas.mode() } else { Mode::Dead };
+        for (i, peas) in nodes.peas.iter().enumerate() {
+            let mode = if nodes.alive[i] {
+                peas.mode()
+            } else {
+                Mode::Dead
+            };
             census[mode_rank(mode)] += 1;
-            awake[i] = s.alive && mode.is_awake();
-            if s.alive && mode == Mode::Working {
+            awake[i] = nodes.alive[i] && mode.is_awake();
+            if nodes.alive[i] && mode == Mode::Working {
                 working_slot[i] = working_nodes.len() as u32;
-                working_nodes.push(i as u32);
+                working_nodes.push(node_u32(i));
                 working_pos.push(positions[i]);
             }
         }
-        let total_wakeups = sensors.iter().map(|s| s.peas.stats().wakeups).sum();
+        let total_wakeups = nodes.peas.iter().map(|p| p.stats().wakeups).sum();
 
         let coverage = CoverageGrid::new(config.field, config.metrics.coverage_resolution);
         // Sensors only: the GRAB infrastructure nodes do not sense.
@@ -318,7 +462,8 @@ impl World {
             sim,
             medium,
             positions,
-            sensors,
+            nodes,
+            send_jobs: Arena::new(),
             working_nodes,
             working_pos,
             working_slot,
@@ -392,10 +537,11 @@ impl World {
 
     /// Positions of currently working sensors (for connectivity analysis).
     pub fn working_positions(&self) -> Vec<Point> {
-        self.sensors
+        self.nodes
+            .peas
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.alive && s.peas.mode() == Mode::Working)
+            .filter(|(i, p)| self.nodes.alive[*i] && p.mode() == Mode::Working)
             .map(|(i, _)| self.positions[i])
             .collect()
     }
@@ -442,9 +588,9 @@ impl World {
                 canvas[cy][cx] = ch;
             }
         };
-        for (i, s) in self.sensors.iter().enumerate() {
+        for (i, peas) in self.nodes.peas.iter().enumerate() {
             let p = self.positions[i];
-            let (ch, rank) = match (s.alive, s.peas.mode()) {
+            let (ch, rank) = match (self.nodes.alive[i], peas.mode()) {
                 (true, Mode::Working) => ('#', 3),
                 (true, _) => ('.', 2),
                 (false, _) => ('x', 1),
@@ -472,10 +618,12 @@ impl World {
 
     /// Probing rates λ of alive sleeping sensors (diagnostics).
     pub fn sleeper_rates(&self) -> Vec<f64> {
-        self.sensors
+        self.nodes
+            .peas
             .iter()
-            .filter(|s| s.alive && s.peas.mode() == Mode::Sleeping)
-            .map(|s| s.peas.rate())
+            .zip(&self.nodes.alive)
+            .filter(|(p, &alive)| alive && p.mode() == Mode::Sleeping)
+            .map(|(p, _)| p.rate())
             .collect()
     }
 
@@ -485,12 +633,13 @@ impl World {
         let now = self.sim.now();
         let min_elapsed =
             peas_des::time::SimDuration::from_secs_f64(1.0 / self.cfg.peas.desired_rate);
-        self.sensors
+        self.nodes
+            .peas
             .iter()
-            .filter(|s| s.alive && s.peas.mode() == Mode::Working)
-            .map(|s| {
-                s.peas
-                    .estimator()
+            .zip(&self.nodes.alive)
+            .filter(|(p, &alive)| alive && p.mode() == Mode::Working)
+            .map(|(p, _)| {
+                p.estimator()
                     .current_estimate(now, min_elapsed)
                     .map(|m| m.per_second())
             })
@@ -501,22 +650,29 @@ impl World {
     /// (forwarded, dropped_budget, dropped_gradient, duplicates).
     pub fn grab_relay_totals(&self) -> (u64, u64, u64, u64) {
         let mut totals = (0, 0, 0, 0);
-        for s in &self.sensors {
-            if let Some(g) = &s.grab {
-                totals.0 += g.forwarded();
-                totals.1 += g.dropped_budget();
-                totals.2 += g.dropped_gradient();
-                totals.3 += g.duplicates();
-            }
+        for g in &self.nodes.grab {
+            totals.0 += g.forwarded();
+            totals.1 += g.dropped_budget();
+            totals.2 += g.dropped_gradient();
+            totals.3 += g.duplicates();
         }
         totals
+    }
+
+    /// Bytes of precomputed static-topology tables: the medium's per-class
+    /// decode rows plus the coverage CSR. These are the O(n · degree)
+    /// structures the memory budget at 10⁵–10⁶ nodes is dominated by (see
+    /// DESIGN.md's memory model); the scale bench reports this next to
+    /// peak RSS.
+    pub fn topology_memory_bytes(&self) -> usize {
+        self.medium.table_memory_bytes() + self.coverage_csr.memory_bytes()
     }
 
     /// Current mode census: (working, probing, sleeping, dead).
     pub fn mode_census(&self) -> (usize, usize, usize, usize) {
         let mut census = (0, 0, 0, 0);
-        for s in &self.sensors {
-            match (s.alive, s.peas.mode()) {
+        for (peas, &alive) in self.nodes.peas.iter().zip(&self.nodes.alive) {
+            match (alive, peas.mode()) {
                 (true, Mode::Working) => census.0 += 1,
                 (true, Mode::Probing) => census.1 += 1,
                 (true, Mode::Sleeping) => census.2 += 1,
@@ -529,16 +685,16 @@ impl World {
     /// Builds the final report (consumes the world).
     pub fn into_report(mut self) -> RunReport {
         let now = self.sim.now();
-        for i in 0..self.sensors.len() {
+        for i in 0..self.nodes.len() {
             self.account(i, now);
         }
         let mut node_stats = peas::NodeStats::default();
         let mut ledger = EnergyLedger::new();
         let mut consumed = 0.0;
-        for s in &self.sensors {
-            node_stats.merge(s.peas.stats());
-            ledger.merge(&s.ledger);
-            consumed += s.battery.consumed_j();
+        for i in 0..self.nodes.len() {
+            node_stats.merge(self.nodes.peas[i].stats());
+            ledger.merge(&self.nodes.ledger[i]);
+            consumed += self.nodes.battery[i].consumed_j();
         }
         RunReport {
             node_count: self.cfg.node_count,
@@ -567,12 +723,15 @@ impl World {
     fn handle(&mut self, now: SimTime, fired_id: EventId, event: Event) {
         match event {
             Event::NodeTimer { node, timer } => self.on_node_timer(now, fired_id, node, timer),
-            Event::SendAttempt {
-                node,
-                payload,
-                range,
-                attempts,
-            } => self.try_send(now, node as usize, payload, range, attempts),
+            Event::SendAttempt { job } => {
+                let SendJob {
+                    node,
+                    payload,
+                    range,
+                    attempts,
+                } = self.send_jobs.take(job);
+                self.try_send(now, node as usize, payload, range, attempts);
+            }
             Event::TxDone { tx } => self.on_tx_done(now, tx),
             Event::SinkAdv => self.on_sink_adv(now),
             Event::SourceReport => self.on_source_report(now),
@@ -584,15 +743,12 @@ impl World {
 
     fn on_node_timer(&mut self, now: SimTime, fired_id: EventId, node: u32, timer: PeasTimer) {
         let idx = node as usize;
-        let ids = &mut self.sensors[idx].timers[timer_index(timer)];
-        if let Some(pos) = ids.iter().position(|&id| id == fired_id) {
-            ids.swap_remove(pos);
-        }
-        if !self.sensors[idx].alive {
+        self.nodes.timers.remove(node, timer_index(timer), fired_id);
+        if !self.nodes.alive[idx] {
             return;
         }
         self.account(idx, now);
-        if !self.sensors[idx].alive {
+        if !self.nodes.alive[idx] {
             return; // accounting depleted the battery
         }
         let input = match timer {
@@ -607,17 +763,13 @@ impl World {
     /// Feeds one input to a sensor's PEAS machine and applies the actions,
     /// keeping the GRAB relay in sync with Working-mode membership.
     fn drive_peas(&mut self, now: SimTime, idx: usize, input: PeasInput) {
-        let mode_before = self.sensors[idx].peas.mode();
+        let mode_before = self.nodes.peas[idx].mode();
         let was_working = mode_before == Mode::Working;
-        let wakeups_before = self.sensors[idx].peas.stats().wakeups;
-        let actions = {
-            let s = &mut self.sensors[idx];
-            // Split borrows: PeasNode and SimRng are separate fields.
-            let SensorRt { peas, rng, .. } = s;
-            peas.on_input(now, input, rng)
-        };
-        self.total_wakeups += self.sensors[idx].peas.stats().wakeups - wakeups_before;
-        let mode_after = self.sensors[idx].peas.mode();
+        let wakeups_before = self.nodes.peas[idx].stats().wakeups;
+        // Split borrows: the PEAS machines and RNG streams are separate lanes.
+        let actions = self.nodes.peas[idx].on_input(now, input, &mut self.nodes.rng[idx]);
+        self.total_wakeups += self.nodes.peas[idx].stats().wakeups - wakeups_before;
+        let mode_after = self.nodes.peas[idx].mode();
         if mode_after != mode_before {
             self.on_mode_transition(idx, mode_before, mode_after);
             self.emit(
@@ -633,7 +785,7 @@ impl World {
         if was_working && !is_working {
             // Turned off (Section 4 rule): drop GRAB state; the node will
             // re-learn its cost on the next epoch if it works again.
-            if let Some(grab) = self.sensors[idx].grab.as_mut() {
+            if let Some(grab) = self.nodes.grab_mut(idx) {
                 grab.reset();
             }
         }
@@ -647,19 +799,21 @@ impl World {
                     let id = self.sim.schedule_at(
                         now + after,
                         Event::NodeTimer {
-                            node: idx as u32,
+                            node: node_u32(idx),
                             timer,
                         },
                     );
-                    self.sensors[idx].timers[timer_index(timer)].push(id);
+                    self.nodes
+                        .timers
+                        .insert(node_u32(idx), timer_index(timer), id);
                 }
                 PeasAction::Cancel(timer) => {
-                    let mut ids = std::mem::take(&mut self.sensors[idx].timers[timer_index(timer)]);
-                    for id in ids.drain(..) {
-                        self.sim.cancel(id);
-                    }
-                    // Hand the allocation back for reuse.
-                    self.sensors[idx].timers[timer_index(timer)] = ids;
+                    let sim = &mut self.sim;
+                    self.nodes
+                        .timers
+                        .cancel_class(node_u32(idx), timer_index(timer), |id| {
+                            sim.cancel(id);
+                        });
                 }
                 PeasAction::Broadcast { msg, range } => {
                     self.try_send(now, idx, Payload::Peas(msg), range, 0);
@@ -686,8 +840,26 @@ impl World {
         } else if idx == self.sink_idx {
             self.infra_tx_busy[1]
         } else {
-            self.sensors[idx].tx_busy_until
+            self.nodes.tx_busy_until[idx]
         }
+    }
+
+    /// Parks the fat payload in the arena and schedules the attempt.
+    fn schedule_send(
+        &mut self,
+        at: SimTime,
+        idx: usize,
+        payload: Payload,
+        range: f64,
+        attempts: u8,
+    ) {
+        let job = self.send_jobs.alloc(SendJob {
+            node: node_u32(idx),
+            payload,
+            range,
+            attempts,
+        });
+        self.sim.schedule_at(at, Event::SendAttempt { job });
     }
 
     fn try_send(&mut self, now: SimTime, idx: usize, payload: Payload, range: f64, attempts: u8) {
@@ -697,8 +869,7 @@ impl World {
                 return; // node died or went to sleep since scheduling
             }
             // A relay that stopped working must not forward stale GRAB frames.
-            if matches!(payload, Payload::Grab(_)) && self.sensors[idx].peas.mode() != Mode::Working
-            {
+            if matches!(payload, Payload::Grab(_)) && self.nodes.peas[idx].mode() != Mode::Working {
                 return;
             }
         }
@@ -709,33 +880,17 @@ impl World {
                 let jitter = self
                     .misc_rng
                     .range_duration(SimDuration::from_micros(100), SimDuration::from_millis(2));
-                self.sim.schedule_at(
-                    busy_until + jitter,
-                    Event::SendAttempt {
-                        node: idx as u32,
-                        payload,
-                        range,
-                        attempts: attempts + 1,
-                    },
-                );
+                self.schedule_send(busy_until + jitter, idx, payload, range, attempts + 1);
             }
             return;
         }
         // CSMA-lite: back off while the channel is audibly busy, but after
         // MAX attempts transmit anyway (persistence beats starvation).
-        if attempts < MAX_SEND_ATTEMPTS && self.medium.carrier_busy(NodeId(idx as u32), now) {
+        if attempts < MAX_SEND_ATTEMPTS && self.medium.carrier_busy(node_id(idx), now) {
             let backoff = self
                 .misc_rng
                 .range_duration(SimDuration::from_millis(1), SimDuration::from_millis(12));
-            self.sim.schedule_at(
-                now + backoff,
-                Event::SendAttempt {
-                    node: idx as u32,
-                    payload,
-                    range,
-                    attempts: attempts + 1,
-                },
-            );
+            self.schedule_send(now + backoff, idx, payload, range, attempts + 1);
             return;
         }
 
@@ -749,14 +904,14 @@ impl World {
         self.emit(
             now,
             TraceEvent::FrameSent {
-                node: idx as u32,
+                node: node_u32(idx),
                 kind: frame_kind,
                 range,
             },
         );
-        let tx =
-            self.medium
-                .start_broadcast(now, NodeId(idx as u32), range, size, &mut self.misc_rng);
+        let tx = self
+            .medium
+            .start_broadcast(now, node_id(idx), range, size, &mut self.misc_rng);
         if is_infra {
             let slot = if idx == self.source_idx { 0 } else { 1 };
             self.infra_tx_busy[slot] = tx.end;
@@ -766,13 +921,15 @@ impl World {
                 Payload::Peas(_) => EnergyCause::ProtocolTx,
                 Payload::Grab(_) => EnergyCause::AppTx,
             };
-            let s = &mut self.sensors[idx];
-            if s.alive {
-                let alive =
-                    s.battery
-                        .drain_timed(self.cfg.power.tx_mw, tx.airtime, cause, &mut s.ledger);
-                s.baseline_paid_until = tx.end;
-                s.tx_busy_until = tx.end;
+            if self.nodes.alive[idx] {
+                let alive = self.nodes.battery[idx].drain_timed(
+                    self.cfg.power.tx_mw,
+                    tx.airtime,
+                    cause,
+                    &mut self.nodes.ledger[idx],
+                );
+                self.nodes.baseline_paid_until[idx] = tx.end;
+                self.nodes.tx_busy_until[idx] = tx.end;
                 if !alive {
                     self.kill(now, idx, DeathCause::Energy);
                 }
@@ -782,7 +939,7 @@ impl World {
         if slot >= self.in_flight.len() {
             self.in_flight.resize(slot + 1, None);
         }
-        self.in_flight[slot] = Some((tx.id, idx as u32, payload));
+        self.in_flight[slot] = Some((tx.id, node_u32(idx), payload));
         self.sim.schedule_at(tx.end, Event::TxDone { tx: tx.id });
     }
 
@@ -833,7 +990,7 @@ impl World {
             return; // radio powered down; the frame fell on deaf ears
         }
         self.account(rx, now);
-        if !self.sensors[rx].alive {
+        if !self.nodes.alive[rx] {
             return;
         }
         // Reattribute one frame-time of baseline as reception energy.
@@ -843,13 +1000,15 @@ impl World {
             Payload::Grab(_) => EnergyCause::AppRx,
         };
         {
-            let s = &mut self.sensors[rx];
-            let alive =
-                s.battery
-                    .drain_timed(self.cfg.power.rx_mw, airtime, rx_cause, &mut s.ledger);
+            let alive = self.nodes.battery[rx].drain_timed(
+                self.cfg.power.rx_mw,
+                airtime,
+                rx_cause,
+                &mut self.nodes.ledger[rx],
+            );
             let paid = now + airtime;
-            if paid > s.baseline_paid_until {
-                s.baseline_paid_until = paid;
+            if paid > self.nodes.baseline_paid_until[rx] {
+                self.nodes.baseline_paid_until[rx] = paid;
             }
             if !alive {
                 self.kill(now, rx, DeathCause::Energy);
@@ -869,13 +1028,15 @@ impl World {
                 );
             }
             Payload::Grab(gmsg) => {
-                if self.sensors[rx].peas.mode() != Mode::Working {
+                if self.nodes.peas[rx].mode() != Mode::Working {
                     return; // only working nodes relay data
                 }
                 let outgoing = {
-                    let s = &mut self.sensors[rx];
-                    let SensorRt { grab, rng, .. } = s;
-                    let Some(relay) = grab.as_mut() else { return };
+                    // Split borrows: relays and RNG streams are separate lanes.
+                    let rng = &mut self.nodes.rng[rx];
+                    let Some(relay) = self.nodes.grab.get_mut(rx) else {
+                        return;
+                    };
                     match gmsg {
                         GrabMessage::Adv { epoch, cost } => relay.on_adv(epoch, cost, rng),
                         GrabMessage::Report(report) => relay.on_report(report, rng),
@@ -884,15 +1045,7 @@ impl World {
                 if let Some(out) = outgoing {
                     // peas-lint: allow(r1-unchecked-panic) -- relays only exist when cfg.grab was set at build
                     let range = self.cfg.grab.as_ref().expect("grab enabled").data_range;
-                    self.sim.schedule_at(
-                        now + out.delay,
-                        Event::SendAttempt {
-                            node: rx as u32,
-                            payload: Payload::Grab(out.msg),
-                            range,
-                            attempts: 0,
-                        },
-                    );
+                    self.schedule_send(now + out.delay, rx, Payload::Grab(out.msg), range, 0);
                 }
             }
         }
@@ -945,13 +1098,13 @@ impl World {
             // Section 5.2: "failures are deaths not incurred by energy
             // depletions"): pick the k-th alive sensor in index order.
             let k = self.failure_rng.index(self.alive_sensors);
-            let victim = (0..self.sensors.len())
-                .filter(|&i| self.sensors[i].alive)
+            let victim = (0..self.nodes.len())
+                .filter(|&i| self.nodes.alive[i])
                 .nth(k)
                 // peas-lint: allow(r1-unchecked-panic) -- alive_sensors is updated on every death; k < alive_sensors by construction
                 .expect("alive_sensors count out of sync");
             self.account(victim, now);
-            if self.sensors[victim].alive {
+            if self.nodes.alive[victim] {
                 self.kill(now, victim, DeathCause::Failure);
             }
         }
@@ -982,16 +1135,16 @@ impl World {
             self.event_stats.1 += 1;
             // The detector needs a route; a relay without a cost cannot
             // send toward the sink (detected but unreportable).
-            let cost = self.sensors[det].grab.as_ref().and_then(|g| g.cost());
+            let cost = self.nodes.grab.get(det).and_then(|g| g.cost());
             if let (Some(cost), Some(grab_cfg)) = (cost, self.cfg.grab.clone()) {
                 let report = peas_grab::Report {
-                    source: NodeId(det as u32),
+                    source: node_id(det),
                     seq: event_id,
                     sender_cost: cost,
                     hops: 1,
                     budget: grab_cfg.hop_budget(cost),
                 };
-                self.event_reports.insert((det as u32, event_id));
+                self.event_reports.insert((node_u32(det), event_id));
                 self.try_send(
                     now,
                     det,
@@ -1008,8 +1161,8 @@ impl World {
     fn on_sample(&mut self, now: SimTime) {
         // Account everyone first: this is also where idle working nodes
         // discover their battery ran out.
-        for i in 0..self.sensors.len() {
-            if self.sensors[i].alive {
+        for i in 0..self.nodes.len() {
+            if self.nodes.alive[i] {
                 self.account(i, now);
             }
         }
@@ -1025,17 +1178,20 @@ impl World {
         );
         debug_assert_eq!(
             self.total_wakeups,
-            self.sensors
+            self.nodes
+                .peas
                 .iter()
-                .map(|s| s.peas.stats().wakeups)
+                .map(|p| p.stats().wakeups)
                 .sum::<u64>(),
             "incremental wakeup total out of sync"
         );
         debug_assert!(
-            self.sensors
+            self.nodes
+                .peas
                 .iter()
+                .zip(&self.nodes.alive)
                 .zip(&self.awake)
-                .all(|(s, &w)| w == (s.alive && s.peas.mode().is_awake())),
+                .all(|((p, &alive), &w)| w == (alive && p.mode().is_awake())),
             "awake bitmap out of sync with sensor modes"
         );
         #[cfg(debug_assertions)]
@@ -1082,28 +1238,28 @@ impl World {
     /// accounted, in its *current* mode. Call before any mode change.
     fn account(&mut self, idx: usize, now: SimTime) {
         let power = self.cfg.power;
-        let s = &mut self.sensors[idx];
-        if !s.alive {
-            s.last_account = now;
+        if !self.nodes.alive[idx] {
+            self.nodes.last_account[idx] = now;
             return;
         }
-        let start = s.last_account;
-        s.last_account = now;
+        let start = self.nodes.last_account[idx];
+        self.nodes.last_account[idx] = now;
         if now <= start {
             return;
         }
-        let chargeable_from = start.max(s.baseline_paid_until);
+        let chargeable_from = start.max(self.nodes.baseline_paid_until[idx]);
         let dur = now.saturating_since(chargeable_from);
         if dur.is_zero() {
             return;
         }
-        let (mw, cause) = match s.peas.mode() {
+        let (mw, cause) = match self.nodes.peas[idx].mode() {
             Mode::Sleeping => (power.sleep_mw, EnergyCause::Sleep),
             Mode::Probing => (power.idle_mw, EnergyCause::ProtocolIdle),
             Mode::Working => (power.idle_mw, EnergyCause::WorkingIdle),
             Mode::Dead => return,
         };
-        let alive = s.battery.drain_timed(mw, dur, cause, &mut s.ledger);
+        let alive =
+            self.nodes.battery[idx].drain_timed(mw, dur, cause, &mut self.nodes.ledger[idx]);
         if !alive {
             self.kill(now, idx, DeathCause::Energy);
         }
@@ -1139,35 +1295,35 @@ impl World {
     }
 
     fn kill(&mut self, now: SimTime, idx: usize, cause: DeathCause) {
-        if !self.sensors[idx].alive {
+        if !self.nodes.alive[idx] {
             return;
         }
-        let mode = self.sensors[idx].peas.mode();
+        let mode = self.nodes.peas[idx].mode();
         self.on_mode_transition(idx, mode, Mode::Dead);
         self.emit(
             now,
             TraceEvent::Death {
-                node: idx as u32,
+                node: node_u32(idx),
                 cause: match cause {
                     DeathCause::Failure => TraceDeathKind::Failure,
                     DeathCause::Energy => TraceDeathKind::Energy,
                 },
             },
         );
-        let s = &mut self.sensors[idx];
-        s.alive = false;
+        self.nodes.alive[idx] = false;
         self.alive_sensors -= 1;
         match cause {
             DeathCause::Failure => self.failures_injected += 1,
             DeathCause::Energy => self.energy_deaths += 1,
         }
-        s.peas.kill();
-        for ids in &mut s.timers {
-            for id in ids.drain(..) {
-                self.sim.cancel(id);
-            }
+        self.nodes.peas[idx].kill();
+        let sim = &mut self.sim;
+        for class in 0..4 {
+            self.nodes.timers.cancel_class(node_u32(idx), class, |id| {
+                sim.cancel(id);
+            });
         }
-        if let Some(grab) = s.grab.as_mut() {
+        if let Some(grab) = self.nodes.grab_mut(idx) {
             grab.reset();
         }
     }

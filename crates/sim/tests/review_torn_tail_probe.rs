@@ -1,12 +1,21 @@
-//! Review probe: does resuming onto a segment with a torn (newline-less)
-//! tail swallow the re-run shard's journal record?
+//! Regression: resuming onto a segment with a torn (newline-less) tail
+//! must not swallow the re-run shard's journal record.
+//!
+//! A worker killed mid-write leaves its segment ending in half a line
+//! with no newline. The original append path reopened the segment in
+//! plain append mode, so the resumed shard's record fused onto the torn
+//! half-line and neither parsed — `pending()` kept reporting the shard
+//! forever. `open_segment_for_append` now truncates the segment to its
+//! last complete newline before the first append, which this test pins:
+//! after a mid-line tear, one resume drains `pending()` and the merged
+//! journal is byte-identical to an uninterrupted run.
 
 use std::fs::OpenOptions;
 use std::io::Read;
 use std::path::PathBuf;
 
 use peas_des::time::SimTime;
-use peas_sim::{ScenarioConfig, SweepSession};
+use peas_sim::{encode_report, Runner, ScenarioConfig, SweepSession};
 
 fn tiny(seed: u64) -> ScenarioConfig {
     let mut c = ScenarioConfig::small();
@@ -17,12 +26,18 @@ fn tiny(seed: u64) -> ScenarioConfig {
 
 #[test]
 fn resume_onto_torn_tail_of_same_segment() {
-    let dir: PathBuf = std::env::temp_dir().join(format!("peas-review-torn-{}", std::process::id()));
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("peas-review-torn-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let runs = vec![
-        ("s1".to_string(), tiny(1)),
-        ("s2".to_string(), tiny(2)),
-    ];
+    let runs = vec![("s1".to_string(), tiny(1)), ("s2".to_string(), tiny(2))];
+
+    // Reference: the same two shards run uninterrupted, no journal.
+    let reference: Vec<String> = Runner::configs(runs.iter().map(|(_, c)| c.clone()).collect())
+        .run()
+        .iter()
+        .map(encode_report)
+        .collect();
+
     let session = SweepSession::create(&dir, runs.clone()).expect("create");
     // Single worker slot journals both shards into worker-0.jsonl.
     assert_eq!(session.run_worker(0, 1, None).expect("run"), 2);
@@ -54,13 +69,22 @@ fn resume_onto_torn_tail_of_same_segment() {
     assert_eq!(resumed.pending().expect("pending"), vec![1]);
     assert_eq!(resumed.run_worker(0, 1, None).expect("resume"), 1);
 
-    // The re-run record should now be visible; if the torn tail swallowed
-    // it, pending() still reports shard 1 and merged() fails.
-    let pending_after = resumed.pending().expect("pending after resume");
+    // The re-run record is visible: nothing pending, and the merged
+    // journal byte-matches the uninterrupted reference.
     assert_eq!(
-        pending_after,
+        resumed.pending().expect("pending after resume"),
         Vec::<usize>::new(),
-        "BUG CONFIRMED: the record appended after a torn tail is unreadable"
+        "the record appended after a torn tail must be readable"
+    );
+    let merged: Vec<String> = resumed
+        .merged()
+        .expect("complete after resume")
+        .iter()
+        .map(encode_report)
+        .collect();
+    assert_eq!(
+        merged, reference,
+        "resume onto a torn tail must merge byte-identical to an uninterrupted run"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

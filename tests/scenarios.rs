@@ -62,6 +62,7 @@ fn corpus_contains_the_documented_scenarios() {
         "events.peas",
         "fig12.peas",
         "fig9.peas",
+        "scale-1m.peas",
         "shadowing.peas",
         "smoke.peas",
         "sweep-smoke.peas",

@@ -91,6 +91,65 @@ fn interrupted_then_resumed_sweep_is_byte_identical_to_uninterrupted() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Torn-tail regression: resuming with the SAME worker topology appends
+/// the re-run shard onto its own torn segment. The appender must first
+/// truncate the torn half-line, or the new record fuses with it and the
+/// shard stays pending forever (the bug `review_torn_tail_probe` pinned).
+#[test]
+fn resume_onto_same_torn_segment_recovers_the_shard() {
+    let runs = scenario_runs();
+    let configs: Vec<_> = runs.iter().map(|(_, c)| c.clone()).collect();
+    let reference: Vec<String> = Runner::configs(configs)
+        .run()
+        .iter()
+        .map(encode_report)
+        .collect();
+
+    let dir = temp_journal("same-slot");
+    let session = SweepSession::create(&dir, runs.clone()).expect("create session");
+    session.run_worker(0, 2, None).expect("worker 0");
+    session.run_worker(1, 2, None).expect("worker 1");
+
+    // Tear worker 1's final record mid-line (shard 3), no trailing newline.
+    let segment = session.segment_path(1);
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&segment)
+        .expect("open worker-1 segment");
+    let mut text = String::new();
+    file.read_to_string(&mut text).expect("read segment");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "worker 1 owns shards 1 and 3");
+    let keep = lines[0].len() + 1 + lines[1].len() / 2;
+    file.set_len(keep as u64).expect("truncate");
+    drop(file);
+
+    // Resume with the SAME two-slot topology: worker 1 re-runs shard 3,
+    // appending to the very segment that ends in a torn tail.
+    let resumed = SweepSession::create(&dir, runs).expect("reopen session");
+    assert_eq!(resumed.pending().expect("pending"), vec![3]);
+    assert_eq!(resumed.run_worker(1, 2, None).expect("resume worker 1"), 1);
+    assert_eq!(
+        resumed.pending().expect("pending after resume"),
+        Vec::<usize>::new(),
+        "the appended record must be readable past the torn tail"
+    );
+
+    let merged: Vec<String> = resumed
+        .merged()
+        .expect("complete after resume")
+        .iter()
+        .map(encode_report)
+        .collect();
+    assert_eq!(
+        merged, reference,
+        "same-slot resume must be byte-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A fully-journaled sweep re-opened with `create` runs nothing new and
 /// still merges identically (the `--resume` no-op path).
 #[test]
