@@ -1,0 +1,205 @@
+//! Event-queue micro-benchmark: ladder queue vs the binary-heap
+//! reference, isolated from the rest of the simulator.
+//!
+//! Usage:
+//!   queue [--sizes 1000,10000,100000,1000000] [--hold-ops N]
+//!         [--out PATH]
+//!
+//! For each pending-set size the bench times four phases per backend:
+//!
+//! * **enqueue** — cold fill to the target size with exponentially
+//!   spaced timestamps (the PEAS wakeup-timer distribution);
+//! * **hold** — the classic hold model: pop the earliest event and
+//!   immediately reschedule it a random exponential delay ahead, keeping
+//!   the pending count constant. This is the simulator's steady state
+//!   and the number the `BENCH_scale.json` tiers move with;
+//! * **cancel** — cancel a third of the live handles (O(1) bitvector
+//!   clears), then pop through the tombstones;
+//! * **drain** — pop everything remaining, in order.
+//!
+//! All timestamps come from `SimRng` streams, so every run performs the
+//! identical operation sequence on both backends and across machines —
+//! only the wall-clock numbers differ. The JSON lands in
+//! `BENCH_queue.json` with a ladder-vs-heap hold-phase speedup per size.
+
+use std::time::Instant;
+
+use peas_des::event::{EventQueue, QueueCore};
+use peas_des::rng::SimRng;
+use peas_des::time::{SimDuration, SimTime};
+
+struct Args {
+    sizes: Vec<usize>,
+    hold_ops: usize,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            sizes: vec![1_000, 10_000, 100_000, 1_000_000],
+            hold_ops: 2_000_000,
+            out: "BENCH_queue.json".to_string(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--sizes" => {
+                    args.sizes = value("--sizes")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad --sizes"))
+                        .collect()
+                }
+                "--hold-ops" => {
+                    args.hold_ops = value("--hold-ops").parse().expect("bad --hold-ops")
+                }
+                "--out" => args.out = value("--out"),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(!args.sizes.is_empty(), "need at least one size");
+        args
+    }
+}
+
+struct PhaseTimes {
+    enqueue_ns_per_op: f64,
+    hold_ns_per_op: f64,
+    cancel_ns_per_op: f64,
+    drain_ns_per_op: f64,
+    memory_bytes: usize,
+    /// Checksum over every popped `(time, seq)`; identical across
+    /// backends by the determinism contract, so a mismatch here means a
+    /// broken queue, not a slow one.
+    checksum: u64,
+}
+
+/// Runs the four phases against one backend. The op sequence is a pure
+/// function of `size` and `hold_ops`, never of elapsed time or backend.
+fn bench_core<C: QueueCore<u64> + Default>(size: usize, hold_ops: usize) -> PhaseTimes {
+    // Mean wakeup spacing ~10 s over `size` nodes: event density scales
+    // with the pending count, as in the real worlds.
+    let mean = SimDuration::from_secs(10);
+    let mut rng = SimRng::stream(0xBEE5, size as u64);
+    let mut q: EventQueue<u64, C> = EventQueue::new();
+    let mut checksum = 0u64;
+
+    let t0 = Instant::now();
+    for i in 0..size {
+        let at = SimTime::ZERO + rng.range_duration(SimDuration::ZERO, mean * 2);
+        q.schedule(at, i as u64);
+    }
+    let enqueue = t0.elapsed();
+
+    let t0 = Instant::now();
+    for i in 0..hold_ops {
+        let f = q.pop().expect("hold model never empties the queue");
+        checksum = checksum
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(f.time.as_nanos());
+        let ahead = SimDuration::from_nanos(1 + rng.below(2 * mean.as_nanos()));
+        q.schedule(f.time + ahead, i as u64);
+    }
+    let hold = t0.elapsed();
+    let memory_bytes = q.memory_bytes();
+
+    // Re-collect the live handles by scheduling a fresh, known batch on
+    // top, then cancel a third of everything we just scheduled.
+    let mut handles = Vec::with_capacity(size / 3);
+    let base = q.peek_time().unwrap_or(SimTime::ZERO);
+    for i in 0..size / 3 {
+        let at = base + rng.range_duration(SimDuration::ZERO, mean * 2);
+        handles.push(q.schedule(at, i as u64));
+    }
+    let t0 = Instant::now();
+    for id in &handles {
+        assert!(q.cancel(*id), "freshly scheduled handle must be live");
+    }
+    let cancel = t0.elapsed();
+    let cancel_count = handles.len();
+
+    let t0 = Instant::now();
+    let mut drained = 0u64;
+    while let Some(f) = q.pop() {
+        checksum = checksum
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(f.time.as_nanos());
+        drained += 1;
+    }
+    let drain = t0.elapsed();
+    assert_eq!(drained as usize, size, "live count must survive the churn");
+
+    let per = |d: std::time::Duration, n: usize| d.as_nanos() as f64 / n.max(1) as f64;
+    PhaseTimes {
+        enqueue_ns_per_op: per(enqueue, size),
+        hold_ns_per_op: per(hold, hold_ops),
+        cancel_ns_per_op: per(cancel, cancel_count),
+        drain_ns_per_op: per(drain, size),
+        memory_bytes,
+        checksum,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut json = String::new();
+    json.push_str("{\n  \"hold_ops\": ");
+    json.push_str(&args.hold_ops.to_string());
+    json.push_str(",\n  \"sizes\": [\n");
+
+    for (i, &size) in args.sizes.iter().enumerate() {
+        eprintln!("size {size}: heap reference...");
+        let heap = bench_core::<peas_des::heap_ref::HeapCore<u64>>(size, args.hold_ops);
+        eprintln!("size {size}: ladder...");
+        let ladder = bench_core::<peas_des::ladder::LadderCore<u64>>(size, args.hold_ops);
+        assert_eq!(
+            heap.checksum, ladder.checksum,
+            "backends diverged at size {size} — determinism contract broken"
+        );
+        let speedup = heap.hold_ns_per_op / ladder.hold_ns_per_op;
+        eprintln!(
+            "size {size}: hold {:.0} ns/op (heap) vs {:.0} ns/op (ladder) = {speedup:.2}x",
+            heap.hold_ns_per_op, ladder.hold_ns_per_op
+        );
+
+        let emit = |j: &mut String, name: &str, p: &PhaseTimes, trailing: bool| {
+            j.push_str(&format!("      \"{name}\": {{\n"));
+            j.push_str(&format!(
+                "        \"enqueue_ns_per_op\": {:.1},\n",
+                p.enqueue_ns_per_op
+            ));
+            j.push_str(&format!(
+                "        \"hold_ns_per_op\": {:.1},\n",
+                p.hold_ns_per_op
+            ));
+            j.push_str(&format!(
+                "        \"cancel_ns_per_op\": {:.1},\n",
+                p.cancel_ns_per_op
+            ));
+            j.push_str(&format!(
+                "        \"drain_ns_per_op\": {:.1},\n",
+                p.drain_ns_per_op
+            ));
+            j.push_str(&format!("        \"memory_bytes\": {}\n", p.memory_bytes));
+            j.push_str(if trailing { "      },\n" } else { "      }\n" });
+        };
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"pending\": {size},\n"));
+        json.push_str(&format!("      \"hold_speedup\": {speedup:.2},\n"));
+        emit(&mut json, "heap", &heap, true);
+        emit(&mut json, "ladder", &ladder, false);
+        json.push_str(if i + 1 == args.sizes.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {}", args.out);
+}

@@ -114,7 +114,20 @@ struct TierResult {
     run_secs: f64,
     events_processed: u64,
     total_wakeups: u64,
+    /// Whole-tier rate: events over build + run wall time. Useful for
+    /// end-to-end budgeting, but it punishes tiers with short horizons
+    /// (the 1M tier spends seconds building tables it then uses for a
+    /// 30 s simulated horizon).
     events_per_sec: f64,
+    /// Pure event-loop rate: events over run wall time only. This is the
+    /// number tier-over-tier comparisons and the CI floors gate on —
+    /// table-build cost scales differently from per-event cost and must
+    /// not pollute it.
+    run_events_per_sec: f64,
+    /// Peak simultaneously pending events (queue-depth high-water mark).
+    queue_high_water: usize,
+    /// Event-queue heap bytes at end of run (rungs + bitvector).
+    queue_bytes: usize,
     table_bytes: usize,
     peak_rss_bytes: Option<u64>,
 }
@@ -157,11 +170,15 @@ fn main() {
         let run_start = Instant::now();
         world.run_until(SimTime::from_secs(horizon_secs));
         let run_secs = run_start.elapsed().as_secs_f64();
+        let queue_high_water = world.queue_high_water();
+        let queue_bytes = world.queue_memory_bytes();
         let report = world.into_report();
 
-        let events_per_sec = report.events_processed as f64 / run_secs;
+        let run_events_per_sec = report.events_processed as f64 / run_secs;
+        let events_per_sec = report.events_processed as f64 / (build_secs + run_secs);
         eprintln!(
-            "tier {nodes}: {} events in {run_secs:.2}s = {events_per_sec:.0} events/sec",
+            "tier {nodes}: {} events in {run_secs:.2}s = {run_events_per_sec:.0} events/sec \
+             (queue high-water {queue_high_water})",
             report.events_processed
         );
         results.push(TierResult {
@@ -172,6 +189,9 @@ fn main() {
             events_processed: report.events_processed,
             total_wakeups: report.total_wakeups(),
             events_per_sec,
+            run_events_per_sec,
+            queue_high_water,
+            queue_bytes,
             table_bytes,
             peak_rss_bytes: peak_rss_bytes(),
         });
@@ -190,14 +210,23 @@ fn main() {
             r.events_processed
         ));
         json.push_str(&format!("      \"total_wakeups\": {},\n", r.total_wakeups));
+        json.push_str(&format!(
+            "      \"queue_high_water\": {},\n",
+            r.queue_high_water
+        ));
+        json.push_str(&format!("      \"queue_bytes\": {},\n", r.queue_bytes));
         json.push_str(&format!("      \"table_bytes\": {},\n", r.table_bytes));
         match r.peak_rss_bytes {
             Some(b) => json.push_str(&format!("      \"peak_rss_bytes\": {b},\n")),
             None => json.push_str("      \"peak_rss_bytes\": null,\n"),
         }
         json.push_str(&format!(
-            "      \"events_per_sec\": {:.1}\n",
+            "      \"events_per_sec\": {:.1},\n",
             r.events_per_sec
+        ));
+        json.push_str(&format!(
+            "      \"run_events_per_sec\": {:.1}\n",
+            r.run_events_per_sec
         ));
         json.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -212,11 +241,14 @@ fn main() {
 
     let mut failed = false;
     if let Some(floor) = args.min_events_per_sec {
+        // The floor gates the pure run rate: build time scales with
+        // node count, not event count, and would otherwise mask (or
+        // fake) an event-loop regression.
         for r in &results {
-            if r.events_per_sec < floor {
+            if r.run_events_per_sec < floor {
                 eprintln!(
                     "FAIL: tier {} ran at {:.0} events/sec, below the {floor:.0} floor",
-                    r.nodes, r.events_per_sec
+                    r.nodes, r.run_events_per_sec
                 );
                 failed = true;
             }

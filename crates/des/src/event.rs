@@ -1,13 +1,19 @@
 //! The pending-event set.
 //!
-//! A binary heap keyed on `(time, sequence)` gives deterministic FIFO
-//! ordering among events scheduled for the same instant — whichever was
-//! scheduled first fires first. Cancellation is lazy: cancelled ids go into a
-//! tombstone set and are skipped on pop, which keeps both `schedule` and
-//! `cancel` O(log n) / O(1).
+//! [`EventQueue`] is a facade over a pluggable storage backend
+//! ([`QueueCore`]): by default the ladder queue ([`crate::ladder`],
+//! amortized O(1) enqueue/dequeue at million-entry depth), or the
+//! original binary heap ([`crate::heap_ref`]) when `peas-des` is built
+//! with `--features heap-queue`. Both backends honor the same total
+//! order — strictly ascending `(time, sequence)`, so events scheduled
+//! for the same instant fire in schedule order — which is why swapping
+//! them cannot perturb a simulation: every pop is uniquely determined.
+//!
+//! Cancellation is lazy and lives in the facade, not the backend: a
+//! cancelled id is cleared from the pending bitvector and its entry
+//! rides through the backend as a tombstone, skipped on pop. That keeps
+//! `cancel` O(1) and backends oblivious to liveness.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::time::SimTime;
@@ -37,35 +43,46 @@ impl fmt::Debug for EventId {
     }
 }
 
-// An entry's id is always `EventId(seq)`; it is not stored separately.
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    payload: E,
+/// Storage backend for [`EventQueue`]: a multiset of `(time, seq,
+/// payload)` entries popped in strictly ascending `(time, seq)` order.
+///
+/// Keys are raw nanosecond timestamps plus the facade-issued dense
+/// sequence number, so `(time, seq)` is unique — the pop order is a
+/// *total* order and every conforming implementation yields the
+/// identical stream. Backends never see cancellation: the facade skips
+/// tombstoned entries after popping them.
+pub trait QueueCore<E> {
+    /// Stores one entry. `seq` values arrive dense and monotonically
+    /// increasing across the queue's lifetime.
+    fn push(&mut self, time: u64, seq: u64, payload: E);
+    /// Removes and returns the entry with the smallest `(time, seq)`.
+    fn pop(&mut self) -> Option<(u64, u64, E)>;
+    /// The smallest `(time, seq)` key without removing it. Takes `&mut`
+    /// because bucketed backends may need to restructure to find it.
+    fn peek_key(&mut self) -> Option<(u64, u64)>;
+    /// Drops all entries.
+    fn clear(&mut self);
+    /// Approximate heap bytes owned by the backend's storage.
+    fn memory_bytes(&self) -> usize;
 }
 
-// Order entries so that the heap (a max-heap) pops the earliest time first,
-// breaking ties by insertion order.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: earliest (time, seq) is the "greatest" for BinaryHeap.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// The backend selected at compile time: the ladder queue by default,
+/// or the binary-heap reference under `--features heap-queue` (the
+/// escape hatch for bisecting a suspected ladder bug against golden
+/// fingerprints).
+#[cfg(not(feature = "heap-queue"))]
+pub type DefaultCore<E> = crate::ladder::LadderCore<E>;
+/// The backend selected at compile time (heap reference: the
+/// `heap-queue` feature is enabled).
+#[cfg(feature = "heap-queue")]
+pub type DefaultCore<E> = crate::heap_ref::HeapCore<E>;
+
+/// [`EventQueue`] pinned to the binary-heap reference backend,
+/// regardless of feature flags. Used by the differential proptests.
+pub type HeapEventQueue<E> = EventQueue<E, crate::heap_ref::HeapCore<E>>;
+/// [`EventQueue`] pinned to the ladder backend, regardless of feature
+/// flags. Used by the differential proptests.
+pub type LadderEventQueue<E> = EventQueue<E, crate::ladder::LadderCore<E>>;
 
 /// A fired event as returned by [`EventQueue::pop`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,18 +104,21 @@ pub struct Fired<E> {
 /// use peas_des::event::EventQueue;
 /// use peas_des::time::SimTime;
 ///
-/// let mut q = EventQueue::new();
+/// let mut q: EventQueue<_> = EventQueue::new();
 /// q.schedule(SimTime::from_secs(2), "later");
 /// q.schedule(SimTime::from_secs(1), "sooner");
 /// assert_eq!(q.pop().unwrap().payload, "sooner");
 /// assert_eq!(q.pop().unwrap().payload, "later");
 /// assert!(q.pop().is_none());
 /// ```
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+pub struct EventQueue<E, C: QueueCore<E> = DefaultCore<E>> {
+    core: C,
     /// Ids of scheduled events that have neither fired nor been cancelled.
     pending: PendingBits,
     next_seq: u64,
+    /// Largest live pending count ever observed (queue-depth telemetry).
+    high_water: usize,
+    _payload: std::marker::PhantomData<E>,
 }
 
 /// Pending-membership set over the dense, monotonically issued event ids:
@@ -147,22 +167,26 @@ impl PendingBits {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E, C: QueueCore<E> + Default> Default for EventQueue<E, C> {
     fn default() -> Self {
         EventQueue::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E, C: QueueCore<E> + Default> EventQueue<E, C> {
     /// Creates an empty queue.
-    pub fn new() -> EventQueue<E> {
+    pub fn new() -> EventQueue<E, C> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            core: C::default(),
             pending: PendingBits::default(),
             next_seq: 0,
+            high_water: 0,
+            _payload: std::marker::PhantomData,
         }
     }
+}
 
+impl<E, C: QueueCore<E>> EventQueue<E, C> {
     /// Schedules `payload` to fire at `time`, returning a cancellable handle.
     ///
     /// Events for equal times fire in the order they were scheduled.
@@ -170,27 +194,28 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.heap.push(Entry { time, seq, payload });
+        self.core.push(time.as_nanos(), seq, payload);
         self.pending.insert(seq);
+        self.high_water = self.high_water.max(self.pending.live);
         id
     }
 
     /// Cancels a pending event. Returns `true` if the event was still
     /// pending, `false` if it already fired or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // Removing from `pending` is the single source of truth; the heap
-        // entry becomes a tombstone that `pop`/`peek_time` skip lazily.
+        // Removing from `pending` is the single source of truth; the
+        // backend entry becomes a tombstone that pops skip lazily.
         self.pending.remove(id.0)
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<Fired<E>> {
-        while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(entry.seq) {
+        while let Some((time, seq, payload)) = self.core.pop() {
+            if self.pending.remove(seq) {
                 return Some(Fired {
-                    time: entry.time,
-                    id: EventId(entry.seq),
-                    payload: entry.payload,
+                    time: SimTime::from_nanos(time),
+                    id: EventId(seq),
+                    payload,
                 });
             }
             // else: cancelled tombstone, skip
@@ -198,14 +223,41 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Removes and returns the earliest pending event if it fires
+    /// strictly before `horizon`; `None` otherwise (queue untouched
+    /// except for tombstones drained off the front).
+    ///
+    /// One backend probe per delivered event, versus the two a
+    /// peek-then-pop loop costs — this is the simulator's hot path.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<Fired<E>> {
+        loop {
+            let (time, seq) = self.core.peek_key()?;
+            if !self.pending.contains(seq) {
+                // Tombstone: discard and look again.
+                self.core.pop();
+                continue;
+            }
+            if time >= horizon.as_nanos() {
+                return None;
+            }
+            let (time, seq, payload) = self.core.pop()?;
+            self.pending.remove(seq);
+            return Some(Fired {
+                time: SimTime::from_nanos(time),
+                id: EventId(seq),
+                payload,
+            });
+        }
+    }
+
     /// The time of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drain tombstones off the top so peek reflects a live event.
-        while let Some(top) = self.heap.peek() {
-            if self.pending.contains(top.seq) {
-                return Some(top.time);
+        while let Some((time, seq)) = self.core.peek_key() {
+            if self.pending.contains(seq) {
+                return Some(SimTime::from_nanos(time));
             }
-            self.heap.pop();
+            self.core.pop();
         }
         None
     }
@@ -225,14 +277,27 @@ impl<E> EventQueue<E> {
         self.next_seq
     }
 
+    /// Largest number of simultaneously live pending events ever
+    /// observed. Monotone; survives pops but not [`EventQueue::clear`].
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Approximate heap bytes held by the queue: backend storage plus
+    /// the pending bitvector.
+    pub fn memory_bytes(&self) -> usize {
+        self.core.memory_bytes() + self.pending.words.capacity() * 8
+    }
+
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.core.clear();
         self.pending.clear();
+        self.high_water = 0;
     }
 }
 
-impl<E> fmt::Debug for EventQueue<E> {
+impl<E, C: QueueCore<E>> fmt::Debug for EventQueue<E, C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventQueue")
             .field("live", &self.pending.live)
@@ -251,7 +316,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<_> = EventQueue::new();
         q.schedule(t(3), 'c');
         q.schedule(t(1), 'a');
         q.schedule(t(2), 'b');
@@ -261,7 +326,7 @@ mod tests {
 
     #[test]
     fn equal_times_fire_fifo() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<_> = EventQueue::new();
         for i in 0..100 {
             q.schedule(t(5), i);
         }
@@ -271,7 +336,7 @@ mod tests {
 
     #[test]
     fn cancel_removes_event() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<_> = EventQueue::new();
         let a = q.schedule(t(1), "a");
         let b = q.schedule(t(2), "b");
         assert!(q.cancel(a));
@@ -283,7 +348,7 @@ mod tests {
 
     #[test]
     fn cancel_twice_is_false() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<_> = EventQueue::new();
         let a = q.schedule(t(1), ());
         assert!(q.cancel(a));
         assert!(!q.cancel(a));
@@ -291,7 +356,7 @@ mod tests {
 
     #[test]
     fn cancel_after_fire_is_false() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<_> = EventQueue::new();
         let a = q.schedule(t(1), ());
         assert!(q.pop().is_some());
         assert!(!q.cancel(a));
@@ -300,7 +365,7 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        let mut other = EventQueue::new();
+        let mut other: EventQueue<_> = EventQueue::new();
         let foreign = other.schedule(t(1), ());
         // `foreign` has seq 0 which this queue never issued.
         assert!(!q.cancel(foreign));
@@ -308,7 +373,7 @@ mod tests {
 
     #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<_> = EventQueue::new();
         let a = q.schedule(t(1), "a");
         q.schedule(t(2), "b");
         q.cancel(a);
@@ -317,7 +382,7 @@ mod tests {
 
     #[test]
     fn len_tracks_live_events() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<_> = EventQueue::new();
         assert!(q.is_empty());
         let a = q.schedule(t(1), ());
         q.schedule(t(2), ());
@@ -331,7 +396,7 @@ mod tests {
 
     #[test]
     fn clear_empties_queue() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<_> = EventQueue::new();
         q.schedule(t(1), ());
         q.schedule(t(2), ());
         q.clear();
@@ -341,11 +406,87 @@ mod tests {
 
     #[test]
     fn fired_reports_schedule_time_and_id() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<_> = EventQueue::new();
         let id = q.schedule(t(7), 42);
         let fired = q.pop().unwrap();
         assert_eq!(fired.time, t(7));
         assert_eq!(fired.id, id);
         assert_eq!(fired.payload, 42);
+    }
+
+    #[test]
+    fn pop_before_delivers_only_earlier_events() {
+        let mut q: EventQueue<_> = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(5), 5);
+        assert_eq!(q.pop_before(t(5)).unwrap().payload, 1);
+        // Event exactly at the horizon does not fire.
+        assert!(q.pop_before(t(5)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(t(6)).unwrap().payload, 5);
+        assert!(q.pop_before(t(100)).is_none());
+    }
+
+    #[test]
+    fn pop_before_skips_cancelled_tombstones() {
+        let mut q: EventQueue<_> = EventQueue::new();
+        let a = q.schedule(t(1), "cancelled");
+        q.schedule(t(2), "kept");
+        q.cancel(a);
+        assert_eq!(q.pop_before(t(10)).unwrap().payload, "kept");
+        assert!(q.pop_before(t(10)).is_none());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q: EventQueue<_> = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        for i in 0..10 {
+            q.schedule(t(i), ());
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        assert_eq!(q.high_water(), 10);
+        q.schedule(t(50), ());
+        // A later, shallower refill does not lower the mark.
+        assert_eq!(q.high_water(), 10);
+    }
+
+    #[test]
+    fn memory_bytes_is_nonzero_when_loaded() {
+        let mut q: EventQueue<_> = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(SimTime::from_nanos(i * 17), i);
+        }
+        assert!(q.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn heap_and_ladder_queues_agree_on_a_mixed_run() {
+        // A quick inline differential check; the heavyweight version with
+        // arbitrary interleavings lives in tests/proptests.rs.
+        fn drive<C: QueueCore<u64> + Default>() -> Vec<(SimTime, u64)> {
+            let mut q: EventQueue<u64, C> = EventQueue::new();
+            let mut cancel_me = Vec::new();
+            for i in 0..500u64 {
+                let id = q.schedule(SimTime::from_nanos((i * 131) % 977), i);
+                if i % 7 == 0 {
+                    cancel_me.push(id);
+                }
+            }
+            for id in cancel_me {
+                q.cancel(id);
+            }
+            let mut out = Vec::new();
+            while let Some(f) = q.pop() {
+                out.push((f.time, f.payload));
+            }
+            out
+        }
+        assert_eq!(
+            drive::<crate::heap_ref::HeapCore<u64>>(),
+            drive::<crate::ladder::LadderCore<u64>>()
+        );
     }
 }

@@ -8,7 +8,8 @@
 //! * [`time`] — integer-nanosecond [`SimTime`]/[`SimDuration`] newtypes, so
 //!   event ordering never depends on floating-point rounding;
 //! * [`event`] — a priority queue with stable FIFO tie-breaking and O(1)
-//!   cancellation;
+//!   cancellation, backed by the amortized-O(1) [`ladder`] queue (or the
+//!   [`heap_ref`] binary-heap reference under `--features heap-queue`);
 //! * [`rng`] — xoshiro256++ generators with per-entity decoupled streams and
 //!   the samplers PEAS needs (exponential sleeping times, uniform backoffs,
 //!   normally distributed signal irregularity);
@@ -48,13 +49,15 @@
 pub mod arena;
 pub mod detmap;
 pub mod event;
+pub mod heap_ref;
+pub mod ladder;
 pub mod rng;
 pub mod sim;
 pub mod time;
 
 pub use arena::Arena;
 pub use detmap::{DetMap, DetSet};
-pub use event::{EventId, EventQueue, Fired};
+pub use event::{EventId, EventQueue, Fired, HeapEventQueue, LadderEventQueue, QueueCore};
 pub use rng::SimRng;
 pub use sim::Simulator;
 pub use time::{SimDuration, SimTime};

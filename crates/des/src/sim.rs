@@ -105,11 +105,18 @@ impl<E> Simulator<E> {
     ///
     /// When the next event is at or past `horizon` (or no events remain) the
     /// clock is advanced to `horizon` and `None` is returned, so repeated
-    /// calls implement "run until t".
+    /// calls implement "run until t". This is the hot path of every world
+    /// loop: it costs a single queue probe per delivered event (the
+    /// peek and pop are fused in [`EventQueue::pop_before`]).
     pub fn next_before(&mut self, horizon: SimTime) -> Option<Fired<E>> {
-        match self.queue.peek_time() {
-            Some(t) if t < horizon => self.next(),
-            _ => {
+        match self.queue.pop_before(horizon) {
+            Some(fired) => {
+                debug_assert!(fired.time >= self.now, "event queue went backwards");
+                self.now = fired.time;
+                self.processed += 1;
+                Some(fired)
+            }
+            None => {
                 self.now = self.now.max(horizon);
                 None
             }
@@ -139,6 +146,16 @@ impl<E> Simulator<E> {
     /// Total events ever scheduled.
     pub fn scheduled_total(&self) -> u64 {
         self.queue.scheduled_total()
+    }
+
+    /// Largest number of simultaneously pending events ever observed.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
+    /// Approximate heap bytes held by the pending-event queue.
+    pub fn queue_memory_bytes(&self) -> usize {
+        self.queue.memory_bytes()
     }
 }
 

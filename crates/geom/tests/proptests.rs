@@ -120,9 +120,9 @@ proptest! {
         let csr = CoverageCsr::build(&grid, &pts, range);
         let mut walked = vec![0u32; grid.sample_count()];
         let mut rasterized = vec![0u32; grid.sample_count()];
-        for i in 0..pts.len() {
+        for (i, pt) in pts.iter().enumerate() {
             csr.add_into(i, &mut walked);
-            grid.add_disc(pts[i], range, &mut rasterized);
+            grid.add_disc(*pt, range, &mut rasterized);
         }
         prop_assert_eq!(&walked, &rasterized);
         prop_assert_eq!(&walked, &grid.coverage_counts(&pts, range));

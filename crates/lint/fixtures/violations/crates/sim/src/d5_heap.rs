@@ -1,0 +1,13 @@
+//! Fixture: rule `d5-heap-event-queue` must fire on `BinaryHeap` in a
+//! sim-logic crate (this tree mimics `crates/sim/src/...`).
+
+use std::collections::BinaryHeap;
+
+/// Ad-hoc event scheduling that d5 must catch (twice: the import above
+/// and the field below). Real code must schedule through
+/// `peas_des::EventQueue`.
+pub struct Agenda {
+    /// A heap's pop order is correct but its internals are not the
+    /// audited, golden-pinned ladder path.
+    pub pending: BinaryHeap<u64>,
+}

@@ -1,0 +1,11 @@
+//! Fixture: a waived `d5-heap-event-queue` use must NOT fire (but counts
+//! as waived in the summary).
+
+// peas-lint: allow(d5-heap-event-queue) -- fixture: pretend this is the heap reference implementation
+use std::collections::BinaryHeap;
+
+/// Reference-only heap, explicitly waived at both sites.
+pub struct Agenda {
+    /// Waived inline on the same line.
+    pub pending: BinaryHeap<u64>, // peas-lint: allow(d5-heap-event-queue) -- fixture: same-line waiver form
+}

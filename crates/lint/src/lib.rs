@@ -15,6 +15,7 @@
 //! | `d2-wall-clock` | all but `bench` + bin frontends | `Instant::now`, `SystemTime`, `UNIX_EPOCH` |
 //! | `d3-ambient-entropy` | everywhere | `thread_rng`, `OsRng`, `RandomState`, ... |
 //! | `d4-scenario-drift` | `scenarios/*.peas` | scenario files no test, bench, example or scenario references |
+//! | `d5-heap-event-queue` | sim-logic crates | `BinaryHeap` outside the heap reference implementation |
 //! | `r1-unchecked-panic` | sim-logic library code | `.unwrap()` / `.expect(...)` |
 //! | `r2-undocumented-panic` | `des` + `sim` public API | panicking `pub fn` without a `# Panics` doc |
 //!

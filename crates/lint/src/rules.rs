@@ -43,6 +43,10 @@ pub const D3: &str = "d3-ambient-entropy";
 /// Rule: every committed scenario file must be referenced by a test,
 /// bench binary, example or another scenario (no dead experiments).
 pub const D4: &str = "d4-scenario-drift";
+/// Rule: forbid `BinaryHeap` in sim-logic crates — event scheduling must
+/// go through `peas_des::EventQueue` (the ladder backend), not ad-hoc
+/// heaps; the retained heap reference implementation carries waivers.
+pub const D5: &str = "d5-heap-event-queue";
 /// Rule: forbid `unwrap`/`expect` in sim-logic library code.
 pub const R1: &str = "r1-unchecked-panic";
 /// Rule: public functions in `des`/`sim` that can panic must say so.
@@ -51,7 +55,7 @@ pub const R2: &str = "r2-undocumented-panic";
 pub const W0: &str = "w0-waiver-without-reason";
 
 /// All enforceable rule ids (what `allow(...)` may name).
-pub const ALL_RULES: &[&str] = &[D1, D2, D3, D4, R1, R2];
+pub const ALL_RULES: &[&str] = &[D1, D2, D3, D4, D5, R1, R2];
 
 /// Where a source file sits in its crate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,6 +143,13 @@ const TOKEN_RULES: &[TokenRule] = &[
                   peas_des::SimRng per-entity stream instead",
     },
     TokenRule {
+        id: D5,
+        patterns: &["BinaryHeap"],
+        message: "ad-hoc heaps bypass the deterministic event queue; schedule through \
+                  peas_des::EventQueue (ladder backend) — only the retained heap reference \
+                  implementation may use BinaryHeap, under a waiver",
+    },
+    TokenRule {
         id: R1,
         patterns: &[".unwrap()", ".expect("],
         message: "unchecked panic in sim-logic library code; handle the None/Err case, or \
@@ -156,6 +167,9 @@ fn rule_applies(id: &str, ctx: &FileCtx) -> bool {
         // Ambient entropy: everywhere, including frontends — a seeded run
         // must be reproducible end to end.
         _ if id == D3 => true,
+        // Ad-hoc heaps: sim-logic crates, library and bin targets alike —
+        // any heap feeding the event loop endangers the delivery order.
+        _ if id == D5 => SIM_LOGIC_CRATES.contains(&ctx.crate_name.as_str()),
         // Unchecked panics: sim-logic library code only.
         _ if id == R1 => {
             SIM_LOGIC_CRATES.contains(&ctx.crate_name.as_str()) && ctx.kind == FileKind::Lib
@@ -533,6 +547,25 @@ mod tests {
         };
         let r = scan_source(&bin, "let mut rng = rand::thread_rng();\n");
         assert_eq!(rules_of(&r), vec![D3]);
+    }
+
+    #[test]
+    fn d5_fires_on_binary_heap_and_waiver_suppresses() {
+        let src = "use std::collections::BinaryHeap;\n";
+        let r = scan_source(&sim_lib("x.rs"), src);
+        assert_eq!(rules_of(&r), vec![D5]);
+        let waived =
+            format!("// peas-lint: allow(d5-heap-event-queue) -- heap reference impl\n{src}");
+        let r = scan_source(&sim_lib("x.rs"), &waived);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.waived, 1);
+        // Outside sim-logic crates the rule is silent.
+        let ctx = FileCtx {
+            crate_name: "analysis".to_string(),
+            rel_path: "x.rs".to_string(),
+            kind: FileKind::Lib,
+        };
+        assert!(scan_source(&ctx, src).diagnostics.is_empty());
     }
 
     #[test]

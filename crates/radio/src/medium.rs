@@ -128,6 +128,10 @@ pub struct MediumStats {
 /// occupation rather than a receiver entry.
 const SENDER_ENTRY: u32 = u32::MAX;
 
+/// Sentinel slot meaning "no arrival" in the inline per-node arrival slot
+/// (valid slots stay below `u32::MAX`; `start_broadcast` asserts it).
+const NO_ARRIVAL: u32 = u32::MAX;
+
 /// One transmission currently arriving at a node.
 #[derive(Clone, Copy, Debug)]
 struct Arrival {
@@ -194,6 +198,100 @@ struct DecodeRow {
     eff: f64,
 }
 
+/// Spatially bucketed carrier-sense index over in-flight transmissions.
+///
+/// Carrier sense asks "is any ongoing transmission audible at `pos` right
+/// now?" — a boolean over the same `sender_pos.within(pos, range)` predicate
+/// regardless of how the candidates are enumerated, so bucketing changes
+/// nothing observable. Each transmission is registered in every cell its
+/// reach disk's bounding box touches; a query then scans only the querying
+/// node's own cell, lazily purging entries whose end time has passed. With
+/// the cell size matched to the largest reach (the same `grid_cell` as the
+/// decode grid) this turns a global `O(all on-air)` scan per send attempt
+/// into an `O(local on-air)` one.
+struct CarrierGrid {
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// Per cell: (sender position, reach, transmission end).
+    cells: Vec<Vec<(Point, f64, SimTime)>>,
+}
+
+impl CarrierGrid {
+    /// `min_cell` is the decode grid's cell (the largest reach); `nodes`
+    /// bounds the cell count. Carrier-sense contention scales with the
+    /// node count, not the field area, so on a sparse tier (few nodes on
+    /// a big field) a reach-sized grid would be mostly-empty megabytes of
+    /// bucket headers that every insert cache-misses across. Capping the
+    /// grid at ~`nodes` cells keeps it dense at every tier; cells never
+    /// drop below `min_cell`, so a disk still spans O(1) buckets.
+    fn new(field: Field, min_cell: f64, nodes: usize) -> CarrierGrid {
+        let max_side = (nodes.max(16) as f64).sqrt().ceil();
+        let cell = min_cell
+            .max(field.width() / max_side)
+            .max(field.height() / max_side);
+        let cols = (field.width() / cell).ceil().max(1.0) as usize;
+        let rows = (field.height() / cell).ceil().max(1.0) as usize;
+        CarrierGrid {
+            cell,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+        }
+    }
+
+    /// Registers a transmission into every cell its reach disk's bounding
+    /// box intersects (clamped to the field).
+    ///
+    /// Each touched cell is purged of expired entries first. Without that,
+    /// entries in cells that are inserted into but rarely queried pile up
+    /// unboundedly (a busy tier retires millions of transmissions);
+    /// purge-on-insert bounds every cell to its live transmission count,
+    /// because a cell only ever grows through an insert.
+    fn insert(&mut self, sender_pos: Point, reach: f64, end: SimTime, now: SimTime) {
+        let x0 = (((sender_pos.x - reach).max(0.0) / self.cell) as usize).min(self.cols - 1);
+        let x1 = (((sender_pos.x + reach) / self.cell) as usize).min(self.cols - 1);
+        let y0 = (((sender_pos.y - reach).max(0.0) / self.cell) as usize).min(self.rows - 1);
+        let y1 = (((sender_pos.y + reach) / self.cell) as usize).min(self.rows - 1);
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                let bucket = &mut self.cells[cy * self.cols + cx];
+                let mut i = 0;
+                while i < bucket.len() {
+                    if bucket[i].2 <= now {
+                        bucket.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                bucket.push((sender_pos, reach, end));
+            }
+        }
+    }
+
+    /// Whether any live transmission reaches `pos` at time `now`.
+    ///
+    /// Expired entries encountered along the way are dropped.
+    fn busy_at(&mut self, pos: Point, now: SimTime) -> bool {
+        let cx = ((pos.x / self.cell) as usize).min(self.cols - 1);
+        let cy = ((pos.y / self.cell) as usize).min(self.rows - 1);
+        let bucket = &mut self.cells[cy * self.cols + cx];
+        let mut i = 0;
+        while i < bucket.len() {
+            let (sender_pos, range, end) = bucket[i];
+            if end <= now {
+                bucket.swap_remove(i);
+                continue;
+            }
+            if sender_pos.within(pos, range) {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+}
+
 /// Per-range-class CSR of decode rows: `offsets[i]..offsets[i + 1]` indexes
 /// sender `i`'s decodable receivers in grid candidate order.
 struct DecodeTable {
@@ -237,10 +335,17 @@ pub struct Medium {
     /// `free` and recycled by the next broadcast.
     slots: Vec<TxSlot>,
     free: Vec<u32>,
-    /// Per node: transmissions currently arriving there (plus its own).
-    arrivals: Vec<Vec<Arrival>>,
-    /// Ongoing transmissions for carrier sensing: (sender pos, range, end).
-    on_air: Vec<(Point, f64, SimTime)>,
+    /// Per node: the first (usually only) transmission currently arriving
+    /// there (plus its own), inline so the common zero/one-arrival case is
+    /// a single flat-array access instead of a per-node heap Vec;
+    /// `slot == NO_ARRIVAL` means none. The list's internal order is
+    /// unobservable — corruption marks every entry and removal is by
+    /// membership — so the first/overflow split changes nothing.
+    arrivals_first: Vec<Arrival>,
+    /// Rare overflow: second and later concurrent arrivals per node.
+    arrivals_more: Vec<Vec<Arrival>>,
+    /// Ongoing transmissions for carrier sensing, bucketed by cell.
+    on_air: CarrierGrid,
     /// Reused buffer for the in-reach candidates of one broadcast.
     scratch: Vec<(usize, Point)>,
     stats: MediumStats,
@@ -374,8 +479,15 @@ impl Medium {
             fast_path: true,
             slots: Vec::new(),
             free: Vec::new(),
-            arrivals: vec![Vec::new(); positions.len()],
-            on_air: Vec::new(),
+            arrivals_first: vec![
+                Arrival {
+                    slot: NO_ARRIVAL,
+                    entry: 0,
+                };
+                positions.len()
+            ],
+            arrivals_more: vec![Vec::new(); positions.len()],
+            on_air: CarrierGrid::new(field, grid_cell, positions.len()),
             scratch: Vec::new(),
             stats: MediumStats::default(),
         }
@@ -437,18 +549,7 @@ impl Medium {
     /// Whether `node` would sense the channel busy at `now` (some ongoing
     /// transmission is audible at its position).
     pub fn carrier_busy(&mut self, node: NodeId, now: SimTime) -> bool {
-        let mut i = 0;
-        while i < self.on_air.len() {
-            if self.on_air[i].2 <= now {
-                self.on_air.swap_remove(i);
-            } else {
-                i += 1;
-            }
-        }
-        let pos = self.positions[node.index()];
-        self.on_air
-            .iter()
-            .any(|&(sender_pos, range, _)| sender_pos.within(pos, range))
+        self.on_air.busy_at(self.positions[node.index()], now)
     }
 
     /// Starts a broadcast from `sender` with transmission power chosen to
@@ -545,7 +646,7 @@ impl Medium {
             self.scratch = in_reach;
         }
         self.slots[slot as usize].receivers = receivers;
-        self.on_air.push((sender_pos, reach, end));
+        self.on_air.insert(sender_pos, reach, end, now);
         Transmission {
             id,
             airtime: duration,
@@ -570,19 +671,17 @@ impl Medium {
         let n = rx.index();
         // All stored arrivals still have end > "now" (completed ones are
         // removed at their end instant), so any existing entry overlaps.
-        let corrupted = !self.arrivals[n].is_empty();
+        let corrupted = self.arrivals_first[n].slot != NO_ARRIVAL;
         if corrupted {
-            for k in 0..self.arrivals[n].len() {
-                let a = self.arrivals[n][k];
-                if a.entry != SENDER_ENTRY {
-                    self.slots[a.slot as usize].receivers[a.entry as usize].corrupted = true;
-                }
-            }
+            self.corrupt_existing(n);
         }
-        self.arrivals[n].push(Arrival {
-            slot,
-            entry: receivers.len() as u32,
-        });
+        self.push_arrival(
+            n,
+            Arrival {
+                slot,
+                entry: receivers.len() as u32,
+            },
+        );
         receivers.push(RxEntry {
             rx,
             info: RxInfo {
@@ -604,23 +703,52 @@ impl Medium {
         // Corruption of a sender's own slot occupation has no observable
         // effect (the sender hears nothing anyway), so only receiver
         // entries carry the flag.
-        if !self.arrivals[n].is_empty() {
-            for k in 0..self.arrivals[n].len() {
-                let a = self.arrivals[n][k];
-                if a.entry != SENDER_ENTRY {
-                    self.slots[a.slot as usize].receivers[a.entry as usize].corrupted = true;
-                }
-            }
+        if self.arrivals_first[n].slot != NO_ARRIVAL {
+            self.corrupt_existing(n);
             if entry != SENDER_ENTRY {
                 self.slots[slot as usize].receivers[entry as usize].corrupted = true;
             }
         }
-        self.arrivals[n].push(Arrival { slot, entry });
+        self.push_arrival(n, Arrival { slot, entry });
+    }
+
+    /// Marks every receiver entry currently arriving at node `n` corrupted.
+    fn corrupt_existing(&mut self, n: usize) {
+        let first = self.arrivals_first[n];
+        if first.entry != SENDER_ENTRY {
+            self.slots[first.slot as usize].receivers[first.entry as usize].corrupted = true;
+        }
+        for k in 0..self.arrivals_more[n].len() {
+            let a = self.arrivals_more[n][k];
+            if a.entry != SENDER_ENTRY {
+                self.slots[a.slot as usize].receivers[a.entry as usize].corrupted = true;
+            }
+        }
+    }
+
+    /// Appends an arrival marker for node `n`: into the inline slot when
+    /// free, the overflow list otherwise.
+    fn push_arrival(&mut self, n: usize, a: Arrival) {
+        if self.arrivals_first[n].slot == NO_ARRIVAL {
+            self.arrivals_first[n] = a;
+        } else {
+            self.arrivals_more[n].push(a);
+        }
     }
 
     /// Drops `node`'s arrival marker for `slot` (order-insensitive).
     fn remove_arrival(&mut self, node: NodeId, slot: u32) {
-        let list = &mut self.arrivals[node.index()];
+        let n = node.index();
+        if self.arrivals_first[n].slot == slot {
+            // Promote any overflow entry into the inline slot; which one is
+            // immaterial (the list is a set).
+            self.arrivals_first[n] = self.arrivals_more[n].pop().unwrap_or(Arrival {
+                slot: NO_ARRIVAL,
+                entry: 0,
+            });
+            return;
+        }
+        let list = &mut self.arrivals_more[n];
         let pos = list
             .iter()
             .position(|a| a.slot == slot)
@@ -933,7 +1061,7 @@ mod tests {
                     out.extend(m.complete(id));
                 }
             } else {
-                now = now + SimDuration::from_millis(3);
+                now += SimDuration::from_millis(3);
             }
         }
         for id in pending {

@@ -507,12 +507,7 @@ impl World {
     /// Runs the simulation until the horizon, or until every sensor died.
     pub fn run(mut self) -> RunReport {
         let horizon = self.cfg.horizon;
-        while let Some(fired) = self.sim.next_before(horizon) {
-            self.handle(fired.time, fired.id, fired.payload);
-            if self.finished {
-                break;
-            }
-        }
+        self.drain_before(horizon);
         self.into_report()
     }
 
@@ -521,13 +516,25 @@ impl World {
     /// sensors and the horizon was not reached.
     pub fn run_until(&mut self, t: SimTime) -> bool {
         let stop = t.min(self.cfg.horizon);
+        self.drain_before(stop);
+        !self.finished && stop < self.cfg.horizon
+    }
+
+    /// The shared event loop: delivers every event before `stop` (or
+    /// until `finished` flips). Each iteration is one fused probe of the
+    /// queue's sorted bottom rung (`Simulator::next_before` →
+    /// `EventQueue::pop_before`), so a drained batch of same-timestamp
+    /// events streams straight off the rung's tail — no peek-then-pop
+    /// double touch per event. Liveness is still checked per event at
+    /// consumption time: a handler may cancel a later event scheduled
+    /// for this same instant, so eager batch extraction would be wrong.
+    fn drain_before(&mut self, stop: SimTime) {
         while let Some(fired) = self.sim.next_before(stop) {
             self.handle(fired.time, fired.id, fired.payload);
             if self.finished {
-                return false;
+                return;
             }
         }
-        !self.finished && stop < self.cfg.horizon
     }
 
     /// The current simulated time.
@@ -666,6 +673,21 @@ impl World {
     /// peak RSS.
     pub fn topology_memory_bytes(&self) -> usize {
         self.medium.table_memory_bytes() + self.coverage_csr.memory_bytes()
+    }
+
+    /// Largest number of simultaneously pending events the event queue
+    /// ever held (tombstones excluded). The scale bench reports this per
+    /// tier: pending depth — roughly one timer per probing/working node
+    /// plus in-flight frames — is what sizes the queue's working set.
+    pub fn queue_high_water(&self) -> usize {
+        self.sim.queue_high_water()
+    }
+
+    /// Approximate heap bytes currently held by the pending-event queue
+    /// (ladder rungs/bottom/top plus the pending bitvector; see
+    /// DESIGN.md §8).
+    pub fn queue_memory_bytes(&self) -> usize {
+        self.sim.queue_memory_bytes()
     }
 
     /// Current mode census: (working, probing, sleeping, dead).
