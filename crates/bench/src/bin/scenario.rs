@@ -21,6 +21,7 @@ use std::env;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use peas_bench::model_gate::model_snapshot;
 use peas_scenario::{first_divergence, load_compiled, CompiledScenario, Snapshot};
 use peas_sim::{encode_report, Runner};
 
@@ -80,8 +81,28 @@ fn select(
     Ok(selected)
 }
 
+/// The canonical snapshot of a scenario: a model-checker outcome for
+/// `[model]` scenarios, a golden-config simulation otherwise.
+fn snapshot_of(scenario: &CompiledScenario) -> Result<Snapshot, String> {
+    if scenario.model.is_some() {
+        return model_snapshot(scenario);
+    }
+    Ok(Snapshot::of_report(
+        &Runner::new(scenario.golden_config()).run_single(),
+    ))
+}
+
 fn cmd_list(corpus: &[(String, CompiledScenario)]) {
     for (stem, scenario) in corpus {
+        if let Some(spec) = &scenario.model {
+            let kind = if scenario.trace.is_some() {
+                "trace replay"
+            } else {
+                "exhaustive exploration"
+            };
+            println!("{stem:<12} {:>4} nodes  model world ({kind})", spec.nodes);
+            continue;
+        }
         let runs = scenario.runs();
         let sweep = match &scenario.sweep {
             Some(sw) => format!(
@@ -101,8 +122,21 @@ fn cmd_list(corpus: &[(String, CompiledScenario)]) {
     }
 }
 
-fn cmd_run(selected: &[(String, CompiledScenario)], json: bool) {
+fn cmd_run(selected: &[(String, CompiledScenario)], json: bool) -> bool {
+    let mut ok = true;
     for (stem, scenario) in selected {
+        if scenario.model.is_some() {
+            // Model scenarios have no simulation runs; their "run" is
+            // the exploration/replay snapshot itself.
+            match model_snapshot(scenario) {
+                Ok(snapshot) => print!("{}", snapshot.render(stem)),
+                Err(e) => {
+                    eprintln!("{stem}: {e}");
+                    ok = false;
+                }
+            }
+            continue;
+        }
         let runs = scenario.runs();
         if !json {
             println!("{stem}: {} runs", runs.len());
@@ -123,13 +157,21 @@ fn cmd_run(selected: &[(String, CompiledScenario)], json: bool) {
             }
         }
     }
+    ok
 }
 
-fn cmd_fingerprint(selected: &[(String, CompiledScenario)]) {
+fn cmd_fingerprint(selected: &[(String, CompiledScenario)]) -> bool {
+    let mut ok = true;
     for (stem, scenario) in selected {
-        let report = Runner::new(scenario.golden_config()).run_single();
-        print!("{}", Snapshot::of_report(&report).render(stem));
+        match snapshot_of(scenario) {
+            Ok(snapshot) => print!("{}", snapshot.render(stem)),
+            Err(e) => {
+                eprintln!("{stem}: {e}");
+                ok = false;
+            }
+        }
     }
+    ok
 }
 
 fn cmd_check(dir: &Path, selected: &[(String, CompiledScenario)]) -> bool {
@@ -155,7 +197,14 @@ fn cmd_check(dir: &Path, selected: &[(String, CompiledScenario)]) -> bool {
                 continue;
             }
         };
-        let actual = Snapshot::of_report(&Runner::new(scenario.golden_config()).run_single());
+        let actual = match snapshot_of(scenario) {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                eprintln!("{stem}: {e}");
+                clean = false;
+                continue;
+            }
+        };
         match first_divergence(&expected, &actual) {
             None => println!("{stem}: ok"),
             Some(divergence) => {
@@ -172,16 +221,16 @@ fn cmd_bless(dir: &Path, selected: &[(String, CompiledScenario)]) -> Result<(), 
     std::fs::create_dir_all(&golden_dir)
         .map_err(|e| format!("cannot create {}: {e}", golden_dir.display()))?;
     for (stem, scenario) in selected {
-        let report = Runner::new(scenario.golden_config()).run_single();
-        let snapshot = Snapshot::of_report(&report);
+        let snapshot = snapshot_of(scenario)?;
         let path = golden_path(dir, stem);
         std::fs::write(&path, snapshot.render(stem))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-        println!(
-            "{stem}: blessed {} ({})",
-            path.display(),
-            snapshot.get("fingerprint").unwrap_or("?")
-        );
+        let headline = snapshot
+            .get("fingerprint")
+            .or_else(|| snapshot.get("canon_hash"))
+            .or_else(|| snapshot.get("final_state_hash"))
+            .unwrap_or("?");
+        println!("{stem}: blessed {} ({headline})", path.display());
     }
     Ok(())
 }
@@ -221,14 +270,8 @@ fn main() -> ExitCode {
             cmd_list(&selected);
             true
         }
-        "run" => {
-            cmd_run(&selected, json);
-            true
-        }
-        "fingerprint" => {
-            cmd_fingerprint(&selected);
-            true
-        }
+        "run" => cmd_run(&selected, json),
+        "fingerprint" => cmd_fingerprint(&selected),
         "check" => cmd_check(&dir, &selected),
         "bless" => match cmd_bless(&dir, &selected) {
             Ok(()) => true,

@@ -24,6 +24,7 @@
 //! | [`experiments::baselines`] | §§1/6 — PEAS vs always-on / synchronized / GAF |
 
 pub mod experiments;
+pub mod model_gate;
 pub mod sweeps;
 
 pub use experiments::ExperimentOpts;

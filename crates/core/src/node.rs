@@ -381,7 +381,17 @@ impl PeasNode {
             reply.working_time - my_tw
         };
         let i_yield = if diff <= eps {
-            self.id.0 > from.0
+            // The `model-bug-inverted-tiebreak` feature flips the tie to
+            // "lower id yields" as a planted regression for the
+            // `peas-model` checker; see that crate's bug harness.
+            #[cfg(not(feature = "model-bug-inverted-tiebreak"))]
+            {
+                self.id.0 > from.0
+            }
+            #[cfg(feature = "model-bug-inverted-tiebreak")]
+            {
+                self.id.0 < from.0
+            }
         } else {
             my_tw < reply.working_time
         };
@@ -441,6 +451,26 @@ impl PeasNode {
     /// The working node's aggregate-rate estimator (for inspection).
     pub fn estimator(&self) -> &RateEstimator {
         &self.estimator
+    }
+
+    /// Whether a REPLY backoff is outstanding (a PROBE was heard and the
+    /// answer has not been transmitted yet). Only ever true while
+    /// `Working`. Exposed for host-side invariant checking (`peas-model`).
+    pub fn reply_pending(&self) -> bool {
+        self.reply_pending
+    }
+
+    /// The REPLYs collected in the currently open probing window.
+    /// Empty outside `Probing`. Exposed for host-side invariant checking.
+    pub fn window_replies(&self) -> &[Reply] {
+        &self.window_replies
+    }
+
+    /// The instant the node last entered `Working`, if it is working.
+    /// Exposed for host-side invariant checking (`peas-model` needs the
+    /// absolute start, not the `Tw` delta, to canonicalize states).
+    pub fn work_started(&self) -> Option<SimTime> {
+        self.work_started
     }
 }
 

@@ -1,0 +1,155 @@
+//! Property-based tests for the Adaptive Sleeping rate adjustment
+//! (`peas::adaptive`, Equation 2): for arbitrary — including adversarial —
+//! rate states and REPLY sets, the new rate is always a positive, finite
+//! number inside the configured bounds, and the fold over REPLYs agrees
+//! with the Section 4 "largest λ̂ wins" rule.
+
+use proptest::prelude::*;
+
+use peas::adaptive::{adjusted_rate, rate_from_replies};
+use peas::{RateMeasurement, Reply};
+use peas_des::time::SimDuration;
+
+fn reply(measured: Option<f64>, desired: f64) -> Reply {
+    Reply {
+        measured_rate: measured.map(RateMeasurement::new),
+        desired_rate: desired,
+        working_time: SimDuration::ZERO,
+    }
+}
+
+/// Positive rates across the full dynamic range the simulator can see,
+/// from near-frozen to chattering.
+fn arb_rate() -> impl Strategy<Value = f64> {
+    1e-9f64..1e9
+}
+
+/// Ordered rate bounds `(lo, hi)` with `0 < lo < hi`.
+fn arb_bounds() -> impl Strategy<Value = (f64, f64)> {
+    (1e-6f64..0.1, 1.0f64..1e4).prop_map(|(lo, scale)| (lo, lo * (1.0 + scale)))
+}
+
+/// Factor bounds `(down, up)` with `0 < down <= 1 <= up`.
+fn arb_factor_bounds() -> impl Strategy<Value = (f64, f64)> {
+    (1e-3f64..1.0, 1.0f64..1e3)
+}
+
+/// A REPLY as an adversary could forge it: the measurement (if any) must be
+/// constructible (positive finite — `RateMeasurement::new` enforces that),
+/// but the desired rate may be garbage: zero, negative, NaN or infinite.
+fn arb_adversarial_reply() -> impl Strategy<Value = Reply> {
+    let desired = prop_oneof![
+        1e-6f64..1.0,
+        Just(0.0),
+        Just(-0.02),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ];
+    (prop::option::of(1e-9f64..1e9), desired).prop_map(|(m, d)| reply(m, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equation 2 never produces NaN, ∞ or a non-positive rate, and always
+    /// lands inside the configured rate bounds.
+    #[test]
+    fn adjusted_rate_is_finite_positive_and_bounded(
+        current in arb_rate(),
+        desired in arb_rate(),
+        measured in arb_rate(),
+        bounds in arb_bounds(),
+        factor_bounds in arb_factor_bounds(),
+    ) {
+        let next = adjusted_rate(
+            current,
+            desired,
+            RateMeasurement::new(measured),
+            bounds,
+            factor_bounds,
+        );
+        prop_assert!(next.is_finite(), "non-finite rate {next}");
+        prop_assert!(next > 0.0, "non-positive rate {next}");
+        prop_assert!(
+            (bounds.0..=bounds.1).contains(&next),
+            "rate {next} escapes bounds {bounds:?}"
+        );
+    }
+
+    /// A single adjustment step moves the rate by at most the configured
+    /// multiplicative factor in either direction (before the absolute
+    /// clamp), so one noisy λ̂ can neither freeze nor flood a node.
+    #[test]
+    fn adjustment_factor_is_bounded(
+        current in arb_rate(),
+        desired in arb_rate(),
+        measured in arb_rate(),
+        factor_bounds in arb_factor_bounds(),
+    ) {
+        // Wide absolute bounds so only the factor clamp is observable.
+        let bounds = (1e-30, 1e30);
+        let next = adjusted_rate(
+            current,
+            desired,
+            RateMeasurement::new(measured),
+            bounds,
+            factor_bounds,
+        );
+        let factor = next / current;
+        let (down, up) = factor_bounds;
+        prop_assert!(
+            factor >= down * (1.0 - 1e-12) && factor <= up * (1.0 + 1e-12),
+            "step factor {factor} escapes {factor_bounds:?}"
+        );
+    }
+
+    /// Folding an arbitrary — possibly adversarial — REPLY set never
+    /// aborts and yields a finite positive rate; if no usable REPLY is
+    /// present the rate is exactly unchanged.
+    #[test]
+    fn reply_fold_survives_adversarial_sets(
+        current in 1e-6f64..1.0,
+        bounds in arb_bounds(),
+        factor_bounds in arb_factor_bounds(),
+        replies in prop::collection::vec(arb_adversarial_reply(), 0..12),
+    ) {
+        let next = rate_from_replies(current, bounds, factor_bounds, replies.iter());
+        prop_assert!(next.is_finite() && next > 0.0, "bad rate {next}");
+        let usable = replies
+            .iter()
+            .any(|r| r.measured_rate.is_some() && r.desired_rate.is_finite() && r.desired_rate > 0.0);
+        if usable {
+            prop_assert!(
+                (bounds.0..=bounds.1).contains(&next),
+                "rate {next} escapes bounds {bounds:?}"
+            );
+        } else {
+            prop_assert_eq!(next, current, "no usable REPLY must keep the rate");
+        }
+    }
+
+    /// The fold agrees with applying Equation 2 to the largest usable λ̂
+    /// (Section 4: several working neighbors → lowest resulting rate).
+    #[test]
+    fn reply_fold_matches_largest_measurement(
+        current in 1e-6f64..1.0,
+        bounds in arb_bounds(),
+        factor_bounds in arb_factor_bounds(),
+        replies in prop::collection::vec(arb_adversarial_reply(), 1..12),
+    ) {
+        let best = replies
+            .iter()
+            .filter(|r| r.desired_rate.is_finite() && r.desired_rate > 0.0)
+            .filter_map(|r| r.measured_rate.map(|m| (m, r.desired_rate)))
+            .max_by(|(a, _), (b, _)| a.partial_cmp(b).expect("measurements are finite"));
+        let folded = rate_from_replies(current, bounds, factor_bounds, replies.iter());
+        match best {
+            Some((m, d)) => prop_assert_eq!(
+                folded,
+                adjusted_rate(current, d, m, bounds, factor_bounds)
+            ),
+            None => prop_assert_eq!(folded, current),
+        }
+    }
+}

@@ -223,6 +223,7 @@ impl CoverageGrid {
             for (i, &x) in self.xs[lo_i..=hi_i].iter().enumerate() {
                 let dx = x - w.x;
                 if dx * dx + dy2 <= r2 {
+                    // peas-lint: allow(r3-unchecked-cast) -- sample indices are bounded by the grid size, validated below u32
                     out.push((row + lo_i + i) as u32);
                 }
             }
@@ -366,7 +367,7 @@ impl CoverageCsr {
         for (chunk_cells, row_ends) in chunks {
             let base = cells.len();
             cells.extend_from_slice(&chunk_cells);
-            // Fits: base + end <= total, checked against u32 above.
+            // peas-lint: allow(r3-unchecked-cast) -- base + end <= total, checked against u32 above
             offsets.extend(row_ends.iter().map(|&end| (base + end) as u32));
         }
         CoverageCsr {

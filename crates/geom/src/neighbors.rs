@@ -111,6 +111,7 @@ impl NeighborTables {
                             if j == i {
                                 continue;
                             }
+                            // peas-lint: allow(r3-unchecked-cast) -- node indices are validated below the u32 id space
                             neighbors.push(j as u32);
                             distances.push(p.distance(q));
                         }
@@ -134,8 +135,8 @@ impl NeighborTables {
                     let base = csr.neighbors.len();
                     csr.neighbors.extend_from_slice(&neighbors);
                     csr.distances.extend_from_slice(&distances);
-                    // Fits: base + end <= total, checked against u32 above.
                     csr.offsets
+                        // peas-lint: allow(r3-unchecked-cast) -- base + end <= total, checked against u32 above
                         .extend(row_ends.iter().map(|&end| (base + end) as u32));
                 }
                 csr

@@ -176,8 +176,8 @@ pub fn k_coverage(
                 let count = working
                     .iter()
                     .filter(|w| w.within(p, sensing_range))
-                    .count() as u32;
-                if count >= k {
+                    .count();
+                if count >= k as usize {
                     covered += 1;
                 }
             }

@@ -33,6 +33,7 @@ impl UnionFind {
     pub fn new(n: usize) -> UnionFind {
         assert!(n <= u32::MAX as usize, "union-find limited to u32 indices");
         UnionFind {
+            // peas-lint: allow(r3-unchecked-cast) -- n is asserted within u32 above
             parent: (0..n as u32).collect(),
             size: vec![1; n],
             components: n,
@@ -55,6 +56,7 @@ impl UnionFind {
     ///
     /// Panics if `x >= self.len()`.
     pub fn find(&mut self, x: usize) -> usize {
+        // peas-lint: allow(r3-unchecked-cast) -- x indexes `parent`, whose length is asserted within u32
         let mut x = x as u32;
         while self.parent[x as usize] != x {
             let grandparent = self.parent[self.parent[x as usize] as usize];
@@ -74,6 +76,7 @@ impl UnionFind {
         if self.size[ra] < self.size[rb] {
             std::mem::swap(&mut ra, &mut rb);
         }
+        // peas-lint: allow(r3-unchecked-cast) -- ra indexes `parent`, whose length is asserted within u32
         self.parent[rb] = ra as u32;
         self.size[ra] += self.size[rb];
         self.components -= 1;

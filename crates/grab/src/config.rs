@@ -74,6 +74,7 @@ impl GrabConfig {
 
     /// Total hop budget for a report generated at cost `source_cost`.
     pub fn hop_budget(&self, source_cost: u32) -> u32 {
+        // peas-lint: allow(r3-unchecked-cast) -- float-to-int `as` saturates rather than wraps; a clamped budget is the intent
         ((1.0 + self.credit_alpha) * source_cost as f64).ceil() as u32
     }
 }

@@ -1,0 +1,7 @@
+//! Fixture: rule `r3-unchecked-cast` must fire on a bare narrowing `as`
+//! cast in sim-logic code (and `model` is in scope).
+
+/// Silently wraps once `values` outgrows the u32 id space.
+pub fn checked_len(values: &[u64]) -> u32 {
+    values.len() as u32
+}

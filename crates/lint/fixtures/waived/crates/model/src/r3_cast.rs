@@ -1,0 +1,7 @@
+//! Fixture: a waived `r3-unchecked-cast` must NOT fire.
+
+/// Cast backed by a stated bound.
+pub fn checked_len(values: &[u64]) -> u32 {
+    // peas-lint: allow(r3-unchecked-cast) -- fixture: callers cap the slice below u32::MAX
+    values.len() as u32
+}

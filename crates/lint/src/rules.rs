@@ -29,6 +29,7 @@ pub const SIM_LOGIC_CRATES: &[&str] = &[
     "geom",
     "baselines",
     "scenario",
+    "model",
 ];
 
 /// Crates whose public API surface must document panics (R2).
@@ -51,11 +52,18 @@ pub const D5: &str = "d5-heap-event-queue";
 pub const R1: &str = "r1-unchecked-panic";
 /// Rule: public functions in `des`/`sim` that can panic must say so.
 pub const R2: &str = "r2-undocumented-panic";
+/// Rule: forbid bare narrowing `as` casts to fixed-width integers in
+/// sim-logic crates — a silently-wrapping cast turns an overflow into a
+/// wrong-but-plausible fingerprint. Use `try_from` (handle or waive the
+/// impossible case) instead. `as usize` is deliberately out of scope:
+/// on every supported target it widens from the u32-and-smaller indices
+/// the simulator uses, and flagging it would be pure noise.
+pub const R3: &str = "r3-unchecked-cast";
 /// Meta-rule: a waiver comment must carry a `-- <reason>`.
 pub const W0: &str = "w0-waiver-without-reason";
 
 /// All enforceable rule ids (what `allow(...)` may name).
-pub const ALL_RULES: &[&str] = &[D1, D2, D3, D4, D5, R1, R2];
+pub const ALL_RULES: &[&str] = &[D1, D2, D3, D4, D5, R1, R2, R3];
 
 /// Where a source file sits in its crate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -155,6 +163,13 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "unchecked panic in sim-logic library code; handle the None/Err case, or \
                   waive with the invariant that makes this unreachable",
     },
+    TokenRule {
+        id: R3,
+        patterns: &["as u8", "as u16", "as u32", "as i32"],
+        message: "bare `as` cast to a fixed-width integer silently wraps on overflow; use \
+                  `T::try_from(...)` and handle the error, or waive with the bound that \
+                  makes truncation impossible",
+    },
 ];
 
 fn rule_applies(id: &str, ctx: &FileCtx) -> bool {
@@ -177,6 +192,9 @@ fn rule_applies(id: &str, ctx: &FileCtx) -> bool {
         _ if id == R2 => {
             PANIC_DOC_CRATES.contains(&ctx.crate_name.as_str()) && ctx.kind == FileKind::Lib
         }
+        // Narrowing casts: sim-logic crates, library and bin targets alike —
+        // a wrapped count in a report is as wrong as one in the event loop.
+        _ if id == R3 => SIM_LOGIC_CRATES.contains(&ctx.crate_name.as_str()),
         _ => false,
     }
 }
@@ -577,6 +595,43 @@ mod tests {
         let r = scan_source(&sim_lib("x.rs"), &waived);
         assert!(r.diagnostics.is_empty());
         assert_eq!(r.waived, 1);
+    }
+
+    #[test]
+    fn r3_fires_on_narrowing_casts_and_waiver_suppresses() {
+        let src = "fn f(x: usize) -> u32 { x as u32 }\n";
+        let r = scan_source(&sim_lib("x.rs"), src);
+        assert_eq!(rules_of(&r), vec![R3]);
+        let waived =
+            format!("// peas-lint: allow(r3-unchecked-cast) -- x < 2^32 by construction\n{src}");
+        let r = scan_source(&sim_lib("x.rs"), &waived);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.waived, 1);
+    }
+
+    #[test]
+    fn r3_ignores_usize_casts_and_non_sim_crates() {
+        // `as usize` widens on every supported target; not in scope.
+        let src = "fn f(x: u32) -> usize { x as usize }\n";
+        assert!(scan_source(&sim_lib("x.rs"), src).diagnostics.is_empty());
+        // Outside sim-logic crates the rule is silent.
+        let ctx = FileCtx {
+            crate_name: "analysis".to_string(),
+            rel_path: "x.rs".to_string(),
+            kind: FileKind::Lib,
+        };
+        let narrowing = "fn f(x: usize) -> u32 { x as u32 }\n";
+        assert!(scan_source(&ctx, narrowing).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn r3_identifier_boundaries_hold() {
+        // An identifier ending in `as` (here `atlas`) must not anchor a
+        // match, and `as u32` buried in a wider ident (`u32x4`) must not
+        // match either. The scan is textual, so validity is irrelevant.
+        let src = "fn f(atlas: Atlas) { atlas u32; x as u32x4 }\n";
+        let r = scan_source(&sim_lib("x.rs"), src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 
     #[test]

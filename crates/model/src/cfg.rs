@@ -1,0 +1,137 @@
+//! Micro-world parameters: how many nodes, who hears whom, which
+//! failure modes the explorer branches on.
+
+use peas::PeasConfig;
+use peas_des::time::SimDuration;
+
+/// Which pairs of nodes are within probing range `Rp` of each other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair is in range (the densest, raciest world).
+    Clique,
+    /// Only consecutively numbered nodes are in range, so turn-off
+    /// decisions propagate hop by hop.
+    Chain,
+}
+
+impl Topology {
+    /// Whether nodes `a` and `b` hear each other's control frames.
+    pub fn in_range(self, a: u32, b: u32) -> bool {
+        match self {
+            Topology::Clique => a != b,
+            Topology::Chain => a.abs_diff(b) == 1,
+        }
+    }
+}
+
+/// Everything that defines one micro-world.
+#[derive(Clone, Debug)]
+pub struct ModelCfg {
+    /// Number of nodes (2..=6; the explorer is exhaustive, not sampled).
+    pub nodes: u32,
+    /// Who is within `Rp` of whom.
+    pub topology: Topology,
+    /// Whether the explorer branches on losing each in-flight frame.
+    pub loss: bool,
+    /// How many node deaths the explorer may inject.
+    pub deaths: u32,
+    /// The protocol configuration every node runs.
+    pub peas: PeasConfig,
+    /// Canonical-state budget: exploration stops (without claiming a
+    /// fixpoint) once this many distinct states have been reached.
+    pub max_states: usize,
+    /// Enables the deliberately-too-strong "no two Working nodes in
+    /// range, ever" invariant. Real PEAS violates it (simultaneous
+    /// probers never hear each other — the probe race), so this exists
+    /// to exercise the find → shrink → replay pipeline in tests, not to
+    /// check the protocol.
+    pub strict_duplicate_working: bool,
+}
+
+impl ModelCfg {
+    /// A micro-world tuned for exhaustive exploration: one PROBE per
+    /// wakeup, a 2-probe measurement window, and a tie epsilon several
+    /// quanta wide so id tie-breaks are actually reachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is outside `2..=6`.
+    pub fn micro(nodes: u32) -> ModelCfg {
+        assert!((2..=6).contains(&nodes), "micro-worlds have 2..=6 nodes");
+        let peas = PeasConfig::builder()
+            .probe_count(1)
+            .measure_threshold(2)
+            .turnoff_tie_epsilon(SimDuration::from_secs(3))
+            .rate_bounds(0.02, 0.4)
+            .build();
+        ModelCfg {
+            nodes,
+            topology: Topology::Clique,
+            loss: false,
+            deaths: 0,
+            peas,
+            max_states: 600_000,
+            strict_duplicate_working: false,
+        }
+    }
+
+    /// Validates the micro-world.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem: node count out of
+    /// `2..=6`, an invalid embedded [`PeasConfig`], or a fixed-power
+    /// configuration (the model has no distances, so the threshold rule
+    /// is meaningless and must be off).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(2..=6).contains(&self.nodes) {
+            return Err(format!(
+                "model worlds must have 2..=6 nodes, got {}",
+                self.nodes
+            ));
+        }
+        self.peas.validate().map_err(|e| e.to_string())?;
+        if self.peas.fixed_power.is_some() {
+            return Err(
+                "model worlds must not use fixed_power (no distances to threshold on)".to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// A duration's whole seconds, saturating into `i64`.
+pub(crate) fn saturating_secs(d: SimDuration) -> i64 {
+    i64::try_from(d.as_nanos() / 1_000_000_000).unwrap_or(i64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_and_chain_adjacency() {
+        assert!(Topology::Clique.in_range(0, 2));
+        assert!(!Topology::Clique.in_range(1, 1));
+        assert!(Topology::Chain.in_range(1, 2));
+        assert!(!Topology::Chain.in_range(0, 2));
+    }
+
+    #[test]
+    fn micro_config_is_valid() {
+        ModelCfg::micro(3).validate().expect("valid");
+    }
+
+    #[test]
+    fn fixed_power_is_rejected() {
+        let mut cfg = ModelCfg::micro(3);
+        cfg.peas = PeasConfig::builder().fixed_power(10.0).build();
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn saturating_secs_truncates_to_whole_seconds() {
+        assert_eq!(saturating_secs(SimDuration::from_millis(2500)), 2);
+        assert_eq!(saturating_secs(SimDuration::MAX), 18_446_744_073);
+    }
+}

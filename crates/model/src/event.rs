@@ -1,0 +1,208 @@
+//! The nondeterministic event alphabet and its stable text encoding.
+//!
+//! Every event has a one-line rendering (`fire 0 wake`, `deliver 0 2`,
+//! `lose 1 0`, `kill 2`) used verbatim in `[trace]` sections of emitted
+//! counterexample scenarios, so the format is part of the on-disk
+//! contract and is pinned by round-trip tests.
+
+use std::fmt;
+
+/// Which of a node's armed timers an event fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimerKind {
+    /// End of a sleep period.
+    Wake,
+    /// Transmit one PROBE.
+    ProbeSend,
+    /// Close the REPLY-collection window.
+    ReplyWindow,
+    /// Transmit the pending REPLY.
+    ReplyBackoff,
+}
+
+impl TimerKind {
+    /// All kinds, in the enumeration order the explorer uses.
+    pub const ALL: [TimerKind; 4] = [
+        TimerKind::Wake,
+        TimerKind::ProbeSend,
+        TimerKind::ReplyWindow,
+        TimerKind::ReplyBackoff,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            TimerKind::Wake => "wake",
+            TimerKind::ProbeSend => "probe-send",
+            TimerKind::ReplyWindow => "reply-window",
+            TimerKind::ReplyBackoff => "reply-backoff",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<TimerKind> {
+        TimerKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// One scheduler choice: the atomic step the explorer branches on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ModelEvent {
+    /// Fire an armed timer on `node`.
+    Fire {
+        /// The node whose timer fires.
+        node: u32,
+        /// Which timer.
+        timer: TimerKind,
+    },
+    /// Deliver the in-flight frame on the directed edge `from → to`.
+    Deliver {
+        /// Transmitting node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+    },
+    /// Drop the in-flight frame on `from → to` (loss branch).
+    Lose {
+        /// Transmitting node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+    },
+    /// Kill `node` (fail-stop; it never returns).
+    Kill {
+        /// The node that dies.
+        node: u32,
+    },
+}
+
+impl ModelEvent {
+    /// Parses the stable text form produced by `Display`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed token.
+    pub fn parse(s: &str) -> Result<ModelEvent, String> {
+        let mut parts = s.split_whitespace();
+        let head = parts.next().ok_or_else(|| "empty event".to_string())?;
+        let mut num = |what: &str| -> Result<u32, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("event `{s}`: missing {what}"))?
+                .parse::<u32>()
+                .map_err(|_| format!("event `{s}`: {what} is not a node index"))
+        };
+        let ev = match head {
+            "fire" => {
+                let node = num("node")?;
+                let timer = parts
+                    .next()
+                    .and_then(TimerKind::from_name)
+                    .ok_or_else(|| format!("event `{s}`: unknown timer kind"))?;
+                ModelEvent::Fire { node, timer }
+            }
+            "deliver" => ModelEvent::Deliver {
+                from: num("sender")?,
+                to: num("receiver")?,
+            },
+            "lose" => ModelEvent::Lose {
+                from: num("sender")?,
+                to: num("receiver")?,
+            },
+            "kill" => ModelEvent::Kill { node: num("node")? },
+            other => return Err(format!("unknown event kind `{other}` in `{s}`")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing tokens in event `{s}`"));
+        }
+        Ok(ev)
+    }
+
+    /// The node indices this event mentions (used by the node shrinker).
+    pub fn touches(self) -> [Option<u32>; 2] {
+        match self {
+            ModelEvent::Fire { node, .. } | ModelEvent::Kill { node } => [Some(node), None],
+            ModelEvent::Deliver { from, to } | ModelEvent::Lose { from, to } => {
+                [Some(from), Some(to)]
+            }
+        }
+    }
+
+    /// Returns the event with every node index ≥ `removed` shifted down
+    /// by one (for replay after dropping node `removed`). The caller
+    /// must ensure the event does not mention `removed` itself.
+    pub fn renumber_past(self, removed: u32) -> ModelEvent {
+        let shift = |id: u32| if id > removed { id - 1 } else { id };
+        match self {
+            ModelEvent::Fire { node, timer } => ModelEvent::Fire {
+                node: shift(node),
+                timer,
+            },
+            ModelEvent::Deliver { from, to } => ModelEvent::Deliver {
+                from: shift(from),
+                to: shift(to),
+            },
+            ModelEvent::Lose { from, to } => ModelEvent::Lose {
+                from: shift(from),
+                to: shift(to),
+            },
+            ModelEvent::Kill { node } => ModelEvent::Kill { node: shift(node) },
+        }
+    }
+}
+
+impl fmt::Display for ModelEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelEvent::Fire { node, timer } => write!(f, "fire {node} {}", timer.name()),
+            ModelEvent::Deliver { from, to } => write!(f, "deliver {from} {to}"),
+            ModelEvent::Lose { from, to } => write!(f, "lose {from} {to}"),
+            ModelEvent::Kill { node } => write!(f, "kill {node}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let events = [
+            ModelEvent::Fire {
+                node: 0,
+                timer: TimerKind::Wake,
+            },
+            ModelEvent::Fire {
+                node: 2,
+                timer: TimerKind::ReplyBackoff,
+            },
+            ModelEvent::Deliver { from: 1, to: 0 },
+            ModelEvent::Lose { from: 0, to: 2 },
+            ModelEvent::Kill { node: 1 },
+        ];
+        for ev in events {
+            let text = ev.to_string();
+            assert_eq!(ModelEvent::parse(&text).expect("parses"), ev, "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        for bad in [
+            "",
+            "fire",
+            "fire x wake",
+            "fire 0 nap",
+            "deliver 0",
+            "teleport 1 2",
+            "kill 0 extra",
+        ] {
+            assert!(ModelEvent::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn renumbering_shifts_higher_ids_only() {
+        let ev = ModelEvent::Deliver { from: 3, to: 1 };
+        assert_eq!(ev.renumber_past(2), ModelEvent::Deliver { from: 2, to: 1 });
+    }
+}

@@ -1,0 +1,157 @@
+//! The invariant catalog: everything the explorer checks on every
+//! reached state (or transition), with stable rule names for CI gating
+//! and counterexample files.
+//!
+//! The turn-off property deserves a note. The paper's Section 4 rule
+//! does **not** guarantee "never two Working nodes within Rp": two
+//! simultaneous probers never hear each other (probing nodes ignore
+//! PROBEs), both windows close silent, and both start working — the
+//! probe race is intrinsic, and under message delay the two sides of a
+//! pair can even legitimately evaluate the rule with different stale
+//! `Tw` values. What *is* checkable is that every evaluation of the
+//! rule, whenever it fires, decides the side the spec says it should —
+//! the [`Violation::TurnoffSpec`] transition invariant. That is the
+//! invariant the deliberate-bug harness trips.
+
+use std::fmt;
+
+/// A violated invariant, carrying enough context to be actionable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// λ left `(0, ∞)` or the configured `rate_bounds`.
+    RateBounds {
+        /// The offending node.
+        node: u32,
+        /// Its probing rate at the time of the check.
+        rate: f64,
+    },
+    /// A node is `Probing` with no armed `ReplyWindow` timer: nothing
+    /// can ever close its window.
+    StuckProbing {
+        /// The offending node.
+        node: u32,
+    },
+    /// `reply_pending` and the armed `ReplyBackoff` timer disagree, or
+    /// a REPLY is pending outside `Working`.
+    BackoffConsistency {
+        /// The offending node.
+        node: u32,
+    },
+    /// A dead node still owns armed timers or a pending REPLY.
+    DeadNodeActive {
+        /// The offending node.
+        node: u32,
+    },
+    /// A sleeping node has no armed wake timer: it sleeps forever.
+    SleeperWithoutAlarm {
+        /// The offending node.
+        node: u32,
+    },
+    /// A Working node that overheard a REPLY decided the wrong side of
+    /// the Section 4 turn-off rule (transition invariant).
+    TurnoffSpec {
+        /// The evaluating (receiving) node.
+        node: u32,
+        /// The REPLY's sender.
+        from: u32,
+        /// What the spec says the receiver should have done.
+        expected_yield: bool,
+    },
+    /// Two alive Working nodes within Rp. Deliberately stronger than
+    /// what PEAS promises (see module docs); only checked when
+    /// [`crate::ModelCfg::strict_duplicate_working`] is set.
+    DuplicateWorking {
+        /// Lower-numbered node of the pair.
+        a: u32,
+        /// Higher-numbered node of the pair.
+        b: u32,
+    },
+    /// A reachable cycle of states in which some node is alive but no
+    /// node is Working: coverage may never be restored.
+    LivenessCycle {
+        /// Number of states in the offending strongly connected
+        /// component.
+        states: usize,
+    },
+}
+
+impl Violation {
+    /// Stable machine-readable rule name (used in `[trace]`
+    /// `expect_violation` and CI assertions).
+    pub fn rule(&self) -> &'static str {
+        match self {
+            Violation::RateBounds { .. } => "rate-bounds",
+            Violation::StuckProbing { .. } => "stuck-probing",
+            Violation::BackoffConsistency { .. } => "backoff-consistency",
+            Violation::DeadNodeActive { .. } => "dead-node-active",
+            Violation::SleeperWithoutAlarm { .. } => "sleeper-without-alarm",
+            Violation::TurnoffSpec { .. } => "turnoff-spec",
+            Violation::DuplicateWorking { .. } => "duplicate-working",
+            Violation::LivenessCycle { .. } => "liveness-coverage",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::RateBounds { node, rate } => {
+                write!(f, "rate-bounds: node {node} has λ = {rate}")
+            }
+            Violation::StuckProbing { node } => write!(
+                f,
+                "stuck-probing: node {node} is Probing with no reply-window timer"
+            ),
+            Violation::BackoffConsistency { node } => write!(
+                f,
+                "backoff-consistency: node {node} reply_pending/backoff-timer mismatch"
+            ),
+            Violation::DeadNodeActive { node } => {
+                write!(f, "dead-node-active: node {node} is dead but still armed")
+            }
+            Violation::SleeperWithoutAlarm { node } => write!(
+                f,
+                "sleeper-without-alarm: node {node} sleeps with no wake timer"
+            ),
+            Violation::TurnoffSpec {
+                node,
+                from,
+                expected_yield,
+            } => write!(
+                f,
+                "turnoff-spec: node {node} heard node {from}'s REPLY and {} (spec says {})",
+                if *expected_yield { "stayed" } else { "yielded" },
+                if *expected_yield { "yield" } else { "stay" },
+            ),
+            Violation::DuplicateWorking { a, b } => {
+                write!(f, "duplicate-working: nodes {a} and {b} both Working in Rp")
+            }
+            Violation::LivenessCycle { states } => write!(
+                f,
+                "liveness-coverage: {states}-state cycle with no Working node"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_stable() {
+        assert_eq!(
+            Violation::TurnoffSpec {
+                node: 0,
+                from: 1,
+                expected_yield: true
+            }
+            .rule(),
+            "turnoff-spec"
+        );
+        assert_eq!(
+            Violation::LivenessCycle { states: 2 }.rule(),
+            "liveness-coverage"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Counterexample minimization: greedy event deletion to a 1-minimal
+//! trace, then dropping nodes the trace never mentions.
+//!
+//! Both passes preserve the *rule* of the violation (not the exact
+//! violation payload — shrinking may move which node trips it), and
+//! every candidate is validated by full deterministic replay, so the
+//! shrunk artifact is replayable by construction.
+
+use crate::cfg::{ModelCfg, Topology};
+use crate::event::ModelEvent;
+use crate::explore::replay;
+use crate::invariant::Violation;
+
+fn reproduces(cfg: &ModelCfg, trace: &[ModelEvent], rule: &str) -> bool {
+    let outcome = replay(cfg, trace);
+    outcome.stuck_at.is_none()
+        && outcome
+            .violation
+            .as_ref()
+            .is_some_and(|v| Violation::rule(v) == rule)
+}
+
+/// Shrinks `trace` to a 1-minimal reproduction of `rule`: repeatedly
+/// removes single events while the violation still replays, until no
+/// single removal survives.
+///
+/// Returns the input unchanged if it does not reproduce `rule` in the
+/// first place (a shrinker must never *invent* a counterexample).
+pub fn shrink_trace(cfg: &ModelCfg, trace: &[ModelEvent], rule: &str) -> Vec<ModelEvent> {
+    let mut best: Vec<ModelEvent> = trace.to_vec();
+    if !reproduces(cfg, &best, rule) {
+        return best;
+    }
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < best.len() {
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if reproduces(cfg, &candidate, rule) {
+                best = candidate;
+                improved = true;
+                // Keep `i` in place: the next event shifted into slot i.
+            } else {
+                i += 1;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Drops nodes the trace never mentions, renumbering the survivors, as
+/// long as the violation still replays in the smaller world.
+///
+/// On a [`Topology::Chain`] only endpoints are candidates (removing an
+/// interior node would splice distant nodes into range of each other);
+/// on a [`Topology::Clique`] any node is. Renumbering is monotone, so
+/// relative id order — which the turn-off tie-break reads — is
+/// preserved.
+pub fn shrink_nodes(
+    cfg: &ModelCfg,
+    trace: &[ModelEvent],
+    rule: &str,
+) -> (ModelCfg, Vec<ModelEvent>) {
+    let mut cfg = cfg.clone();
+    let mut trace = trace.to_vec();
+    if !reproduces(&cfg, &trace, rule) {
+        return (cfg, trace);
+    }
+    loop {
+        let mut dropped = false;
+        let mut candidate_ids: Vec<u32> = match cfg.topology {
+            Topology::Clique => (0..cfg.nodes).collect(),
+            Topology::Chain => vec![cfg.nodes - 1, 0],
+        };
+        candidate_ids.retain(|&id| {
+            !trace
+                .iter()
+                .any(|ev| ev.touches().iter().flatten().any(|&t| t == id))
+        });
+        for id in candidate_ids {
+            if cfg.nodes <= 2 {
+                break;
+            }
+            let mut smaller = cfg.clone();
+            smaller.nodes -= 1;
+            let renumbered: Vec<ModelEvent> = trace.iter().map(|ev| ev.renumber_past(id)).collect();
+            if reproduces(&smaller, &renumbered, rule) {
+                cfg = smaller;
+                trace = renumbered;
+                dropped = true;
+                break; // candidate ids are stale now; recompute
+            }
+        }
+        if !dropped {
+            return (cfg, trace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    /// The end-to-end pipeline the CI deliberate-bug job exercises, on
+    /// the always-available strict invariant: find, shrink events,
+    /// shrink nodes, and confirm the result still replays.
+    #[test]
+    fn probe_race_counterexample_shrinks_and_replays() {
+        let mut cfg = ModelCfg::micro(3);
+        cfg.strict_duplicate_working = true;
+        let found = explore(&cfg).violation.expect("probe race is reachable");
+        let rule = found.violation.rule();
+        assert_eq!(rule, "duplicate-working");
+
+        let trace = shrink_trace(&cfg, &found.trace, rule);
+        assert!(trace.len() <= found.trace.len());
+        let (small_cfg, small_trace) = shrink_nodes(&cfg, &trace, rule);
+        assert_eq!(small_cfg.nodes, 2, "the probe race needs exactly two nodes");
+        assert!(reproduces(&small_cfg, &small_trace, rule));
+
+        // 1-minimality: removing any single event breaks reproduction.
+        for i in 0..small_trace.len() {
+            let mut cut = small_trace.clone();
+            cut.remove(i);
+            assert!(
+                !reproduces(&small_cfg, &cut, rule),
+                "event {i} ({}) was removable",
+                small_trace[i]
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_a_non_reproducing_trace_is_identity() {
+        let cfg = ModelCfg::micro(2);
+        let trace = vec![ModelEvent::Kill { node: 0 }];
+        // Kill is not even enabled (deaths = 0): must come back intact.
+        assert_eq!(shrink_trace(&cfg, &trace, "duplicate-working"), trace);
+    }
+}

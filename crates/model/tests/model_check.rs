@@ -1,0 +1,144 @@
+//! End-to-end model-checking runs: the exhaustive micro-world
+//! explorations CI gates on, and the full counterexample pipeline
+//! (find → shrink → emit → parse → replay).
+
+use peas_model::{
+    canon_key, emit_peas, explore, replay, shrink_nodes, shrink_trace, ModelCfg, ModelEvent,
+    ModelWorld, Topology, Violation,
+};
+
+/// The clean-exploration tests assert "no violation", which the
+/// deliberate-bug feature exists to break; they stand down when it is
+/// compiled in.
+#[cfg_attr(
+    feature = "model-bug-inverted-tiebreak",
+    ignore = "the deliberate bug makes clean exploration impossible"
+)]
+#[test]
+fn three_node_clique_is_exhaustively_clean() {
+    let outcome = explore(&ModelCfg::micro(3));
+    assert!(
+        outcome.fixpoint,
+        "3-node exploration must drain its frontier (saw {} states)",
+        outcome.states
+    );
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    assert!(
+        outcome.states >= 10_000,
+        "expected >= 10^4 canonical states, got {}",
+        outcome.states
+    );
+    assert!(
+        outcome.duplicate_working_states > 0,
+        "the probe race must remain reachable in the quotient"
+    );
+    assert!(outcome.coverage_hole_states > 0);
+}
+
+#[cfg_attr(
+    feature = "model-bug-inverted-tiebreak",
+    ignore = "the deliberate bug makes clean exploration impossible"
+)]
+#[test]
+fn three_node_chain_with_loss_stays_clean() {
+    let mut cfg = ModelCfg::micro(3);
+    cfg.topology = Topology::Chain;
+    cfg.loss = true;
+    let outcome = explore(&cfg);
+    assert!(outcome.fixpoint);
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+}
+
+#[cfg_attr(
+    feature = "model-bug-inverted-tiebreak",
+    ignore = "the deliberate bug makes clean exploration impossible"
+)]
+#[test]
+fn a_death_never_strands_the_network_uncovered() {
+    let mut cfg = ModelCfg::micro(3);
+    cfg.deaths = 1;
+    let outcome = explore(&cfg);
+    assert!(outcome.fixpoint);
+    // In particular: no liveness-coverage cycle after the kill — some
+    // sleeper's wake path always restores a Working node.
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+}
+
+#[test]
+fn counterexample_pipeline_round_trips_through_peas_text() {
+    let mut cfg = ModelCfg::micro(3);
+    cfg.strict_duplicate_working = true;
+    let found = explore(&cfg).violation.expect("probe race is reachable");
+    let rule = found.violation.rule();
+
+    let trace = shrink_trace(&cfg, &found.trace, rule);
+    let (cfg, trace) = shrink_nodes(&cfg, &trace, rule);
+    let text = emit_peas("model-ce-roundtrip", &cfg, &trace, rule);
+
+    // Re-parse the events line exactly as the scenario replayer will.
+    let events_line = text
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("events = [")
+                .and_then(|l| l.strip_suffix(']'))
+        })
+        .expect("emitted scenario has an events list");
+    let parsed: Vec<ModelEvent> = events_line
+        .split("\", \"")
+        .map(|part| {
+            let part = part.trim_start_matches('"').trim_end_matches('"');
+            ModelEvent::parse(part).expect("emitted events parse")
+        })
+        .collect();
+    assert_eq!(parsed, trace, "emission must preserve the trace");
+
+    let outcome = replay(&cfg, &parsed);
+    assert_eq!(outcome.stuck_at, None);
+    assert_eq!(
+        outcome.violation.as_ref().map(Violation::rule),
+        Some(rule),
+        "the emitted counterexample must reproduce on replay"
+    );
+}
+
+#[test]
+fn exploration_fingerprint_is_reproducible() {
+    let a = explore(&ModelCfg::micro(3));
+    let b = explore(&ModelCfg::micro(3));
+    assert_eq!(a.canon_hash, b.canon_hash);
+    assert_eq!(a.states, b.states);
+    assert_eq!(a.transitions, b.transitions);
+    assert_eq!(a.max_depth, b.max_depth);
+}
+
+#[test]
+fn canonical_keys_are_stable_across_worlds() {
+    let cfg = ModelCfg::micro(4);
+    let a = ModelWorld::new(cfg.clone());
+    let b = ModelWorld::new(cfg);
+    assert_eq!(canon_key(&a), canon_key(&b));
+}
+
+/// The deliberate-bug gate: under the `model-bug-inverted-tiebreak`
+/// feature the checker must find a `turnoff-spec` violation; without it
+/// this test instead pins that the rule stays quiet.
+#[test]
+fn inverted_tiebreak_is_caught_iff_the_bug_is_compiled_in() {
+    let cfg = ModelCfg::micro(3);
+    let outcome = explore(&cfg);
+    #[cfg(feature = "model-bug-inverted-tiebreak")]
+    {
+        let found = outcome
+            .violation
+            .expect("the inverted tie-break must be caught");
+        assert_eq!(found.violation.rule(), "turnoff-spec");
+        let shrunk = shrink_trace(&cfg, &found.trace, "turnoff-spec");
+        let replayed = replay(&cfg, &shrunk);
+        assert_eq!(
+            replayed.violation.as_ref().map(Violation::rule),
+            Some("turnoff-spec")
+        );
+    }
+    #[cfg(not(feature = "model-bug-inverted-tiebreak"))]
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+}

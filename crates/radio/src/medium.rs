@@ -67,6 +67,7 @@ impl TxId {
     }
 
     fn generation(self) -> u32 {
+        // peas-lint: allow(r3-unchecked-cast) -- the high 32 bits of a packed u64 always fit u32
         (self.0 >> 32) as u32
     }
 }
@@ -438,7 +439,8 @@ impl Medium {
                         let ids = adjacency.neighbors(class, i);
                         let dists = adjacency.distances(class, i);
                         for (&j, &dist) in ids.iter().zip(dists) {
-                            let eff = channel.effective_distance(NodeId(i as u32), NodeId(j), dist);
+                            let eff =
+                                channel.effective_distance(NodeId::from_index(i), NodeId(j), dist);
                             if eff <= range {
                                 rows.push(DecodeRow { rx: j, dist, eff });
                             }
@@ -460,8 +462,8 @@ impl Medium {
                 for (chunk_rows, row_ends) in chunks {
                     let base = t.rows.len();
                     t.rows.extend_from_slice(&chunk_rows);
-                    // Fits: base + end <= total, checked against u32 above.
                     t.offsets
+                        // peas-lint: allow(r3-unchecked-cast) -- base + end <= total, checked against u32 above
                         .extend(row_ends.iter().map(|&end| (base + end) as u32));
                 }
                 t
@@ -598,6 +600,7 @@ impl Medium {
                     end,
                     receivers: Vec::new(),
                 });
+                // peas-lint: allow(r3-unchecked-cast) -- live slots are bounded by in-flight transmissions, one per node
                 (self.slots.len() - 1) as u32
             }
         };
@@ -635,7 +638,7 @@ impl Medium {
                 if idx == sender.index() {
                     continue;
                 }
-                let rx = NodeId(idx as u32);
+                let rx = NodeId::from_index(idx);
                 let dist = sender_pos.distance(pos);
                 let eff = self.channel.effective_distance(sender, rx, dist);
                 if eff > intended_range {
@@ -679,6 +682,7 @@ impl Medium {
             n,
             Arrival {
                 slot,
+                // peas-lint: allow(r3-unchecked-cast) -- receiver entries are bounded by the node count, validated below u32
                 entry: receivers.len() as u32,
             },
         );
@@ -789,9 +793,11 @@ impl Medium {
             "complete() called for unknown or already-completed transmission"
         );
         let sender = self.slots[slot].sender;
+        // peas-lint: allow(r3-unchecked-cast) -- slot round-trips through TxId's packed low u32
         self.remove_arrival(sender, slot as u32);
         for i in 0..self.slots[slot].receivers.len() {
             let e = self.slots[slot].receivers[i];
+            // peas-lint: allow(r3-unchecked-cast) -- slot round-trips through TxId's packed low u32
             self.remove_arrival(e.rx, slot as u32);
             let outcome = if e.corrupted {
                 self.stats.collisions += 1;
@@ -810,6 +816,7 @@ impl Medium {
             });
         }
         self.slots[slot].active = false;
+        // peas-lint: allow(r3-unchecked-cast) -- slot round-trips through TxId's packed low u32
         self.free.push(slot as u32);
     }
 

@@ -15,6 +15,17 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The id for a dense vector index, checked back into the `u32` id
+    /// space (deployments are validated below it at construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` exceeds `u32::MAX`.
+    pub fn from_index(idx: usize) -> NodeId {
+        // peas-lint: allow(r1-unchecked-panic) -- deployments are validated below the u32 id space; overflow is a construction bug
+        NodeId(u32::try_from(idx).expect("node index exceeds the u32 id space"))
+    }
 }
 
 impl fmt::Debug for NodeId {

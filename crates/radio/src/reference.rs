@@ -137,7 +137,7 @@ impl ReferenceMedium {
             if idx == sender.index() {
                 continue;
             }
-            let rx = NodeId(idx as u32);
+            let rx = NodeId::from_index(idx);
             let dist = sender_pos.distance(pos);
             let eff = self.channel.effective_distance(sender, rx, dist);
             if eff > intended_range {
@@ -161,10 +161,10 @@ impl ReferenceMedium {
                 dist <= reach
                     && self
                         .channel
-                        .effective_distance(sender, NodeId(i as u32), dist)
+                        .effective_distance(sender, NodeId::from_index(i), dist)
                         <= intended_range
             })
-            .map(|i| i as u32)
+            .map(|i| NodeId::from_index(i).0)
             .collect();
         brute.sort_unstable();
         assert_eq!(

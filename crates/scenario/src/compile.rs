@@ -31,6 +31,8 @@ pub const SECTIONS: &[&str] = &[
     "failures",
     "traffic",
     "metrics",
+    "model",
+    "trace",
     "sweeps",
     "golden",
 ];
@@ -64,6 +66,48 @@ pub struct GoldenSpec {
     pub point: Option<usize>,
 }
 
+/// Which pairs of a micro-world's nodes are within probing range of
+/// each other (`[model] topology`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelTopology {
+    /// Every pair of nodes is within `Rp` of each other.
+    Clique,
+    /// Only consecutively numbered nodes (`|i - j| == 1`) are in range.
+    Chain,
+}
+
+/// A `[model]` section: parameters for the `peas-model` exhaustive
+/// explorer. This crate only parses and validates the spec; the explorer
+/// itself lives in `peas-model` (which depends on this crate, not the
+/// other way around).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelSpec {
+    /// Number of nodes in the micro-world (defaults to `[deployment]
+    /// count`; must be 2..=6 — the explorer is exhaustive, not sampled).
+    pub nodes: u32,
+    /// Which pairs are within probing range.
+    pub topology: ModelTopology,
+    /// Whether the explorer branches on losing each in-flight frame.
+    pub loss: bool,
+    /// How many node deaths the explorer may inject (0 = none).
+    pub deaths: u32,
+    /// State budget: exploration stops (without claiming a fixpoint)
+    /// after this many distinct canonical states.
+    pub max_states: usize,
+}
+
+/// A `[trace]` section: an ordered event trace to replay through the
+/// micro-world instead of exploring. This is the format counterexamples
+/// are emitted in; the strings are parsed by `peas-model`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpec {
+    /// Ordered event descriptions, e.g. `"fire 0 wake"`, `"deliver 0 2"`.
+    pub events: Vec<String>,
+    /// The invariant the replay is expected to violate (`"none"` or
+    /// absent when the trace must replay clean).
+    pub expect_violation: Option<String>,
+}
+
 /// One concrete run expanded from a scenario (a sweep point × seed, or
 /// the single base run of a sweep-less scenario).
 #[derive(Clone, Debug)]
@@ -87,6 +131,10 @@ pub struct CompiledScenario {
     pub sweep: Option<SweepSpec>,
     /// Golden-run overrides (empty if `[golden]` was absent).
     pub golden: GoldenSpec,
+    /// The model-checking spec, if `[model]` was declared.
+    pub model: Option<ModelSpec>,
+    /// The replay trace, if `[trace]` was declared (requires `[model]`).
+    pub trace: Option<TraceSpec>,
 }
 
 impl CompiledScenario {
@@ -190,6 +238,8 @@ pub fn compile(doc: &ScenarioDoc, default_name: &str) -> Result<CompiledScenario
 
     let sweep = compile_sweep(doc, &base)?;
     let golden = compile_golden(doc, &sweep)?;
+    let model = compile_model(doc, &base)?;
+    let trace = compile_trace(doc, &model)?;
 
     Ok(CompiledScenario {
         name,
@@ -197,6 +247,8 @@ pub fn compile(doc: &ScenarioDoc, default_name: &str) -> Result<CompiledScenario
         base,
         sweep,
         golden,
+        model,
+        trace,
     })
 }
 
@@ -560,7 +612,9 @@ fn compile_sweep(
             "sweep axis must be `section.key`, e.g. `deployment.count`",
         ));
     };
-    if !SECTIONS.contains(&axis_section) || axis_section == "sweeps" || axis_section == "golden" {
+    if !SECTIONS.contains(&axis_section)
+        || matches!(axis_section, "sweeps" | "golden" | "model" | "trace")
+    {
         return Err(ScenarioError::at(
             axis_entry.span,
             format!("unknown sweep axis section [{axis_section}]"),
@@ -633,6 +687,98 @@ fn compile_golden(
         }
     }
     Ok(golden)
+}
+
+fn compile_model(
+    doc: &ScenarioDoc,
+    base: &ScenarioConfig,
+) -> Result<Option<ModelSpec>, ScenarioError> {
+    let Some(section) = doc.section("model") else {
+        return Ok(None);
+    };
+    let mut spec = ModelSpec {
+        nodes: u32::try_from(base.node_count).unwrap_or(u32::MAX),
+        topology: ModelTopology::Clique,
+        loss: false,
+        deaths: 0,
+        max_states: 200_000,
+    };
+    for e in &section.entries {
+        match e.key.as_str() {
+            "nodes" => spec.nodes = get_u32("model", e)?,
+            "topology" => {
+                spec.topology = match get_str("model", e)?.as_str() {
+                    "clique" => ModelTopology::Clique,
+                    "chain" => ModelTopology::Chain,
+                    other => {
+                        return Err(ScenarioError::at(
+                            e.span,
+                            format!(
+                            "unknown model topology `{other}` (expected \"clique\" or \"chain\")"
+                        ),
+                        ))
+                    }
+                }
+            }
+            "loss" => spec.loss = get_bool("model", e)?,
+            "deaths" => spec.deaths = get_u32("model", e)?,
+            "max_states" => spec.max_states = get_usize("model", e)?,
+            _ => return Err(unknown_key("model", e)),
+        }
+    }
+    if !(2..=6).contains(&spec.nodes) {
+        return Err(ScenarioError::at(
+            section.span,
+            format!(
+                "[model] worlds must have 2..=6 nodes (the explorer is exhaustive), got {}",
+                spec.nodes
+            ),
+        ));
+    }
+    Ok(Some(spec))
+}
+
+fn compile_trace(
+    doc: &ScenarioDoc,
+    model: &Option<ModelSpec>,
+) -> Result<Option<TraceSpec>, ScenarioError> {
+    let Some(section) = doc.section("trace") else {
+        return Ok(None);
+    };
+    if model.is_none() {
+        return Err(ScenarioError::at(
+            section.span,
+            "a [trace] section requires a [model] section to replay against",
+        ));
+    }
+    let mut events: Option<Vec<String>> = None;
+    let mut expect_violation = None;
+    for e in &section.entries {
+        match e.key.as_str() {
+            "events" => {
+                events = Some(
+                    get_list("trace", e)?
+                        .iter()
+                        .map(|v| match v {
+                            Value::Str(s) => Ok(s.clone()),
+                            other => Err(type_error("trace", e, "a list of strings", other)),
+                        })
+                        .collect::<Result<_, _>>()?,
+                )
+            }
+            "expect_violation" => {
+                let s = get_str("trace", e)?;
+                expect_violation = (s != "none").then_some(s);
+            }
+            _ => return Err(unknown_key("trace", e)),
+        }
+    }
+    let events =
+        events.ok_or_else(|| ScenarioError::at(section.span, "missing key `events` in [trace]"))?;
+    Ok(Some(TraceSpec {
+        events,
+        expect_violation,
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -856,6 +1002,58 @@ seeds = [101, 102, 103]
             .expect_err("unknown key");
         assert_eq!(err.message, "unknown key `probing_rage` in [peas]");
         assert_eq!((err.line, err.column), (5, 1));
+    }
+
+    #[test]
+    fn model_section_compiles_with_defaults_from_deployment() {
+        let c = compile_src("[deployment]\ncount = 3\n\n[model]\nloss = true\n").expect("compiles");
+        let model = c.model.expect("model spec");
+        assert_eq!(model.nodes, 3);
+        assert_eq!(model.topology, ModelTopology::Clique);
+        assert!(model.loss);
+        assert_eq!(model.deaths, 0);
+        assert_eq!(model.max_states, 200_000);
+        assert!(c.trace.is_none());
+    }
+
+    #[test]
+    fn model_section_rejects_large_worlds() {
+        let err = compile_src("[deployment]\ncount = 40\n\n[model]\ndeaths = 1\n")
+            .expect_err("too many nodes");
+        assert!(err.message.contains("2..=6"), "{}", err.message);
+        let c = compile_src("[deployment]\ncount = 40\n\n[model]\nnodes = 4\n").expect("compiles");
+        assert_eq!(c.model.expect("model").nodes, 4);
+    }
+
+    #[test]
+    fn trace_parses_events_and_requires_model() {
+        let err = compile_src("[deployment]\ncount = 3\n\n[trace]\nevents = [\"fire 0 wake\"]\n")
+            .expect_err("trace without model");
+        assert!(
+            err.message.contains("requires a [model]"),
+            "{}",
+            err.message
+        );
+
+        let src = "\
+[deployment]
+count = 3
+
+[model]
+topology = \"chain\"
+
+[trace]
+events = [\"fire 0 wake\", \"deliver 0 1\"]
+expect_violation = \"none\"
+";
+        let c = compile_src(src).expect("compiles");
+        assert_eq!(
+            c.model.as_ref().expect("model").topology,
+            ModelTopology::Chain
+        );
+        let trace = c.trace.expect("trace");
+        assert_eq!(trace.events, vec!["fire 0 wake", "deliver 0 1"]);
+        assert_eq!(trace.expect_violation, None);
     }
 
     #[test]

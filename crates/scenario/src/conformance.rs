@@ -95,13 +95,11 @@ impl Snapshot {
         push("consumed_j", format!("{:.6}", report.consumed_j));
         push("overhead_j", format!("{:.6}", report.overhead_j()));
         let max_k = report.samples.first().map_or(0, |s| s.coverage.len());
+        let max_k = u32::try_from(max_k).unwrap_or(u32::MAX);
         for k in 1..=max_k {
             push(
                 &format!("cov{k}_lifetime"),
-                format!(
-                    "{:.3}",
-                    report.coverage_lifetime(k as u32, LIFETIME_THRESHOLD)
-                ),
+                format!("{:.3}", report.coverage_lifetime(k, LIFETIME_THRESHOLD)),
             );
         }
         push(

@@ -45,7 +45,10 @@ pub mod parse;
 pub mod print;
 
 pub use ast::{Entry, Extends, ScenarioDoc, Section, Span, Value};
-pub use compile::{compile, CompiledScenario, GoldenSpec, SweepRun, SweepSpec, SECTIONS};
+pub use compile::{
+    compile, CompiledScenario, GoldenSpec, ModelSpec, ModelTopology, SweepRun, SweepSpec,
+    TraceSpec, SECTIONS,
+};
 pub use conformance::{first_divergence, sample_fingerprint, Divergence, Snapshot};
 pub use error::ScenarioError;
 pub use loader::{load_compiled, load_path, load_str};

@@ -163,6 +163,7 @@ impl TimerTable {
                 return;
             }
         }
+        // peas-lint: allow(r3-unchecked-cast) -- timer classes are a fixed handful, far below u8
         self.spill.push((node, class as u8, id));
     }
 
@@ -434,7 +435,7 @@ impl World {
             census[mode_rank(mode)] += 1;
             awake[i] = nodes.alive[i] && mode.is_awake();
             if nodes.alive[i] && mode == Mode::Working {
-                working_slot[i] = working_nodes.len() as u32;
+                working_slot[i] = node_u32(working_nodes.len());
                 working_nodes.push(node_u32(i));
                 working_pos.push(positions[i]);
             }
@@ -797,7 +798,7 @@ impl World {
             self.emit(
                 now,
                 TraceEvent::ModeChange {
-                    node: idx as u32,
+                    node: node_u32(idx),
                     from: mode_before,
                     to: mode_after,
                 },
@@ -1304,13 +1305,13 @@ impl World {
             self.working_slot[idx] = NOT_WORKING;
             if slot < self.working_nodes.len() {
                 let moved = self.working_nodes[slot] as usize;
-                self.working_slot[moved] = slot as u32;
+                self.working_slot[moved] = node_u32(slot);
             }
             self.coverage_csr.remove_into(idx, &mut self.cov_counts);
         }
         if to == Mode::Working {
-            self.working_slot[idx] = self.working_nodes.len() as u32;
-            self.working_nodes.push(idx as u32);
+            self.working_slot[idx] = node_u32(self.working_nodes.len());
+            self.working_nodes.push(node_u32(idx));
             self.working_pos.push(self.positions[idx]);
             self.coverage_csr.add_into(idx, &mut self.cov_counts);
         }

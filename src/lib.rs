@@ -24,7 +24,10 @@
 //!   reproductions;
 //! * [`scenario`] — the declarative `.peas` scenario language and the
 //!   golden conformance harness pinning every experiment to a committed
-//!   fingerprint.
+//!   fingerprint;
+//! * [`model`] — the exhaustive model checker: every message/timer
+//!   interleaving of 2–6-node micro-worlds, safety + liveness
+//!   invariants, shrunk replayable counterexamples.
 //!
 //! ## Quick start
 //!
@@ -95,4 +98,12 @@ pub mod analysis {
 /// grammar.
 pub mod scenario {
     pub use peas_scenario::*;
+}
+
+/// The exhaustive model checker for the PEAS state machine (re-export
+/// of `peas-model`): breadth-first exploration of 2–6-node micro-worlds
+/// over every message/timer interleaving, with shrunk, replayable
+/// counterexamples. See `DESIGN.md` §10.
+pub mod model {
+    pub use peas_model::*;
 }

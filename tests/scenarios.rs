@@ -62,6 +62,9 @@ fn corpus_contains_the_documented_scenarios() {
         "events.peas",
         "fig12.peas",
         "fig9.peas",
+        "model-3node.peas",
+        "model-4node.peas",
+        "model-trace-exchange.peas",
         "scale-1m.peas",
         "shadowing.peas",
         "smoke.peas",
@@ -101,7 +104,14 @@ fn corpus_matches_committed_golden_snapshots() {
         });
         let expected = Snapshot::parse(&committed)
             .unwrap_or_else(|e| panic!("{}: malformed golden: {e}", golden_path.display()));
-        let actual = Snapshot::of_report(&Runner::new(scenario.golden_config()).run_single());
+        // Model scenarios snapshot an exploration/replay outcome; the
+        // rest snapshot a golden-config simulation.
+        let actual = if scenario.model.is_some() {
+            peas_bench::model_gate::model_snapshot(&scenario)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+        } else {
+            Snapshot::of_report(&Runner::new(scenario.golden_config()).run_single())
+        };
         if let Some(divergence) = first_divergence(&expected, &actual) {
             panic!(
                 "scenario {} drifted from its golden snapshot: {divergence}. \
