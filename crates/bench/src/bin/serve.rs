@@ -1,0 +1,635 @@
+//! The sweep service: a long-running `peas-bench serve` mode that turns
+//! the content-addressed result cache (`peas_sim::cache`) into shared
+//! infrastructure — N clients submit scenario sweeps into a spool
+//! directory, the service dedupes every shard against the global cache,
+//! executes only the novel ones on a worker pool, and streams progress
+//! and merged results back as response files.
+//!
+//! ```text
+//! Usage: serve <command> [arguments] [options]
+//!
+//! Commands:
+//!   run       the service loop: watch the spool, schedule jobs
+//!   submit    validate a job file and queue it in the spool atomically
+//!   status    print cache statistics and per-job states
+//!   drain     ask a running service to exit once the spool is empty
+//!   shutdown  ask a running service to exit before starting another job
+//!
+//! Options (run):
+//!   --spool DIR      spool directory (required)
+//!   --cache DIR      result-cache directory (required)
+//!   --scenarios DIR  corpus for job scenario stems (default: scenarios/)
+//!   --workers N      worker threads (default: available cores)
+//!   --poll-ms MS     idle poll interval (default 200)
+//!   --drain          batch mode: exit once the spool is empty
+//!   --kill-after K   fault injection: SIGKILL self after K executed shards
+//!
+//! Options (submit):  <job.json> --spool DIR
+//! Options (status):  --spool DIR --cache DIR
+//! Options (drain/shutdown): --spool DIR
+//! ```
+//!
+//! ## Spool layout and job lifecycle
+//!
+//! ```text
+//! spool/
+//!   incoming/   submitted job files, picked up oldest-name-first
+//!   active/     the job currently being served (crash-recovery point)
+//!   done/       successfully served job files
+//!   failed/     jobs that could not be parsed/compiled/served
+//!   responses/  <job>.reports.jsonl + <job>.response.json per job
+//!   progress/   <job>.progress.json while a job runs
+//!   control/    `drain` / `shutdown` marker files
+//! ```
+//!
+//! A job moves `incoming -> active -> done|failed`. The move into
+//! `active/` happens *before* any work, so a service SIGKILLed mid-sweep
+//! leaves the job there; the restarted service re-processes it, finds
+//! the already-executed shards in the cache, runs only the remainder,
+//! and produces response bytes identical to an uninterrupted run — the
+//! same resume-by-content story as `peas-bench sweep`, now shared
+//! between every client of the spool (pinned by
+//! `crates/bench/tests/serve_smoke.rs` and the `serve-smoke` CI job).
+
+use std::env;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+use std::time::Duration;
+
+use peas_scenario::compile_job;
+use peas_sim::job::{
+    decode_job, decode_outcome, decode_progress, encode_outcome, encode_progress, JobOutcome,
+    JobProgress, JobSpec,
+};
+use peas_sim::{encode_report, fnv1a, ResultCache, Shard, SweepPlan};
+
+/// Novel shards executed per scheduling chunk: small enough that
+/// progress files update while a sweep runs, large enough that the
+/// worker pool stays saturated between chunk boundaries.
+const CHUNK_PER_WORKER: usize = 2;
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+const VALUE_FLAGS: &[&str] = &[
+    "--spool",
+    "--cache",
+    "--scenarios",
+    "--workers",
+    "--poll-ms",
+    "--kill-after",
+];
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = raw.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                if VALUE_FLAGS.contains(&arg.as_str()) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("--{flag} needs a value"))?;
+                    flags.push((flag.to_string(), Some(value.clone())));
+                } else {
+                    flags.push((flag.to_string(), None));
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == flag)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == flag)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{flag}: cannot parse `{raw}`")),
+        }
+    }
+
+    fn dir(&self, flag: &str) -> Result<PathBuf, String> {
+        self.get(flag)
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("--{flag} DIR is required"))
+    }
+}
+
+/// The spool directory family. Every accessor creates on first use.
+struct Spool {
+    root: PathBuf,
+}
+
+impl Spool {
+    fn open(root: PathBuf) -> Result<Spool, String> {
+        let spool = Spool { root };
+        for sub in [
+            "incoming",
+            "active",
+            "done",
+            "failed",
+            "responses",
+            "progress",
+            "control",
+        ] {
+            fs::create_dir_all(spool.root.join(sub))
+                .map_err(|e| format!("{}: cannot create {sub}/: {e}", spool.root.display()))?;
+        }
+        Ok(spool)
+    }
+
+    fn sub(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn reports_path(&self, job: &str) -> PathBuf {
+        self.sub("responses").join(format!("{job}.reports.jsonl"))
+    }
+
+    fn response_path(&self, job: &str) -> PathBuf {
+        self.sub("responses").join(format!("{job}.response.json"))
+    }
+
+    fn progress_path(&self, job: &str) -> PathBuf {
+        self.sub("progress").join(format!("{job}.progress.json"))
+    }
+
+    fn control_path(&self, what: &str) -> PathBuf {
+        self.sub("control").join(what)
+    }
+
+    /// Sorted `.json` files in a spool subdirectory.
+    fn list(&self, sub: &str) -> io::Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = fs::read_dir(self.sub(sub))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// The next job to serve: a crash-recovered file from `active/` if
+    /// any, else the oldest-named submission moved out of `incoming/`.
+    fn claim_next(&self) -> Result<Option<PathBuf>, String> {
+        let active = self.list("active").map_err(|e| e.to_string())?;
+        if let Some(path) = active.into_iter().next() {
+            return Ok(Some(path));
+        }
+        let incoming = self.list("incoming").map_err(|e| e.to_string())?;
+        let Some(path) = incoming.into_iter().next() else {
+            return Ok(None);
+        };
+        let claimed = self
+            .sub("active")
+            .join(path.file_name().unwrap_or_default());
+        fs::rename(&path, &claimed).map_err(|e| format!("cannot claim {}: {e}", path.display()))?;
+        Ok(Some(claimed))
+    }
+}
+
+/// Writes `contents` to `path` atomically (same-directory tmp + rename),
+/// so readers never observe a half-written response.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// SIGKILLs the current process — the `--kill-after` fault-injection
+/// path, same machinery as `sweep --kill-worker`. Falls back to `abort`
+/// if no `kill` binary exists.
+fn sigkill_self() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = Command::new("kill").args(["-KILL", &pid]).status();
+    std::thread::sleep(Duration::from_secs(2));
+    std::process::abort();
+}
+
+/// Default scenario corpus: the workspace `scenarios/` directory.
+fn default_scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+// ---------------------------------------------------------------------------
+// serve run
+// ---------------------------------------------------------------------------
+
+struct ServiceConfig {
+    spool: Spool,
+    cache: ResultCache,
+    scenarios: PathBuf,
+    workers: usize,
+    poll: Duration,
+    drain: bool,
+    /// Remaining shard budget before the injected SIGKILL (`None`: no
+    /// fault injection).
+    kill_budget: Option<usize>,
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let spool = Spool::open(args.dir("spool")?)?;
+    let cache = ResultCache::open(args.dir("cache")?).map_err(|e| format!("--cache: {e}"))?;
+    let scenarios = args
+        .get("scenarios")
+        .map_or_else(default_scenarios_dir, PathBuf::from);
+    let default_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers: usize = args.get_parsed("workers", default_workers)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    let poll_ms: u64 = args.get_parsed("poll-ms", 200)?;
+    let kill_budget: Option<usize> = match args.get("kill-after") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--kill-after: cannot parse `{raw}`"))?,
+        ),
+        None => None,
+    };
+    let mut service = ServiceConfig {
+        spool,
+        cache,
+        scenarios,
+        workers,
+        poll: Duration::from_millis(poll_ms),
+        drain: args.has("drain"),
+        kill_budget,
+    };
+
+    // A fresh service ignores control commands aimed at its predecessor.
+    for control in ["drain", "shutdown"] {
+        let _ = fs::remove_file(service.spool.control_path(control));
+    }
+
+    eprintln!(
+        "[serve] watching {} against cache {} ({} worker(s){})",
+        service.spool.root.display(),
+        service.cache.dir().display(),
+        service.workers,
+        if service.drain { ", drain mode" } else { "" }
+    );
+    loop {
+        if service.spool.control_path("shutdown").exists() {
+            let _ = fs::remove_file(service.spool.control_path("shutdown"));
+            eprintln!("[serve] shutdown requested; exiting");
+            return Ok(());
+        }
+        match service.spool.claim_next()? {
+            Some(job_path) => serve_job(&mut service, &job_path)?,
+            None => {
+                if service.drain {
+                    eprintln!("[serve] spool drained; exiting");
+                    return Ok(());
+                }
+                if service.spool.control_path("drain").exists() {
+                    let _ = fs::remove_file(service.spool.control_path("drain"));
+                    eprintln!("[serve] drain requested and spool empty; exiting");
+                    return Ok(());
+                }
+                std::thread::sleep(service.poll);
+            }
+        }
+    }
+}
+
+/// Serves one claimed job file end to end: compile, dedup, execute the
+/// novel shards, respond, archive. Never returns an error for a *bad
+/// job* (that becomes a `failed` response); only infrastructure failures
+/// (spool/cache I/O) propagate.
+fn serve_job(service: &mut ServiceConfig, job_path: &Path) -> Result<(), String> {
+    let fallback_name = job_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "job".to_string());
+    let spec = match fs::read_to_string(job_path)
+        .map_err(|e| e.to_string())
+        .and_then(|src| decode_job(&src))
+    {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("[serve] job {fallback_name}: rejected ({e})");
+            return finish_job(service, job_path, &fallback_name, failed(&fallback_name, e));
+        }
+    };
+    let runs = match compile_job(&spec, &service.scenarios) {
+        Ok(compiled) => compiled.runs(),
+        Err(e) => {
+            eprintln!("[serve] job {}: does not compile ({e})", spec.name);
+            return finish_job(
+                service,
+                job_path,
+                &spec.name,
+                failed(&spec.name, e.to_string()),
+            );
+        }
+    };
+    let plan = SweepPlan::new(runs.into_iter().map(|r| (r.label, r.config)).collect());
+
+    let scan = service
+        .cache
+        .scan()
+        .map_err(|e| format!("cache scan: {e}"))?;
+    let total = plan.len();
+    let cached = plan.cached(&scan);
+    let novel = plan.novel(&scan);
+    eprintln!(
+        "[serve] job {}: {total} shard(s), {cached} cached, {} novel",
+        spec.name,
+        novel.len()
+    );
+
+    // How many plan shards each novel key satisfies, so progress counts
+    // advance by shard coverage as keys complete.
+    let multiplicity = |shard: &Shard| plan.shards().iter().filter(|s| s.key == shard.key).count();
+    let mut done = cached;
+    write_progress(service, &spec.name, done, total)?;
+
+    let chunk_size = (service.workers * CHUNK_PER_WORKER).max(1);
+    let mut executed = 0usize;
+    let mut offset = 0usize;
+    while offset < novel.len() {
+        if service.kill_budget == Some(0) {
+            sigkill_self();
+        }
+        let take = chunk_size
+            .min(novel.len() - offset)
+            .min(service.kill_budget.unwrap_or(usize::MAX));
+        let chunk = &novel[offset..offset + take];
+        service
+            .cache
+            .execute(chunk, service.workers)
+            .map_err(|e| format!("cache execute: {e}"))?;
+        executed += chunk.len();
+        done += chunk.iter().map(multiplicity).sum::<usize>();
+        offset += take;
+        write_progress(service, &spec.name, done, total)?;
+        if let Some(budget) = &mut service.kill_budget {
+            *budget -= take;
+            if *budget == 0 {
+                sigkill_self();
+            }
+        }
+    }
+
+    // Re-scan and merge; one retry covers a record quarantined between
+    // the scheduling scan and this one (its shard simply re-runs).
+    let mut scan = service
+        .cache
+        .scan()
+        .map_err(|e| format!("cache rescan: {e}"))?;
+    let retry = plan.novel(&scan);
+    if !retry.is_empty() {
+        eprintln!(
+            "[serve] job {}: {} shard(s) lost to damaged records; re-running",
+            spec.name,
+            retry.len()
+        );
+        service
+            .cache
+            .execute(&retry, service.workers)
+            .map_err(|e| format!("cache re-execute: {e}"))?;
+        executed += retry.len();
+        scan = service
+            .cache
+            .scan()
+            .map_err(|e| format!("cache rescan: {e}"))?;
+    }
+    let outcome = match plan.merged(&scan) {
+        Ok(reports) => {
+            let mut body = String::new();
+            for report in &reports {
+                body.push_str(&encode_report(report));
+                body.push('\n');
+            }
+            write_atomic(&service.spool.reports_path(&spec.name), &body)?;
+            JobOutcome {
+                name: spec.name.clone(),
+                total,
+                cached,
+                executed,
+                result_fingerprint: fnv1a(body.as_bytes()),
+                error: None,
+            }
+        }
+        Err(e) => failed(&spec.name, e.to_string()),
+    };
+    eprintln!(
+        "[serve] job {}: {} (total={} cached={} executed={})",
+        spec.name,
+        if outcome.is_done() { "done" } else { "failed" },
+        outcome.total,
+        outcome.cached,
+        outcome.executed
+    );
+    finish_job(service, job_path, &spec.name, outcome)
+}
+
+fn failed(name: &str, error: String) -> JobOutcome {
+    JobOutcome {
+        name: name.to_string(),
+        total: 0,
+        cached: 0,
+        executed: 0,
+        result_fingerprint: 0,
+        error: Some(error),
+    }
+}
+
+fn write_progress(
+    service: &ServiceConfig,
+    name: &str,
+    done: usize,
+    total: usize,
+) -> Result<(), String> {
+    let progress = JobProgress {
+        name: name.to_string(),
+        done,
+        total,
+    };
+    write_atomic(
+        &service.spool.progress_path(name),
+        &format!("{}\n", encode_progress(&progress)),
+    )
+}
+
+/// Writes the response, clears the progress file and archives the job
+/// file into `done/` or `failed/`.
+fn finish_job(
+    service: &ServiceConfig,
+    job_path: &Path,
+    name: &str,
+    outcome: JobOutcome,
+) -> Result<(), String> {
+    let archive = if outcome.is_done() { "done" } else { "failed" };
+    write_atomic(
+        &service.spool.response_path(name),
+        &format!("{}\n", encode_outcome(&outcome)),
+    )?;
+    let _ = fs::remove_file(service.spool.progress_path(name));
+    let dest = service
+        .spool
+        .sub(archive)
+        .join(job_path.file_name().unwrap_or_default());
+    fs::rename(job_path, &dest).map_err(|e| format!("cannot archive {}: {e}", job_path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// serve submit / status / drain / shutdown
+// ---------------------------------------------------------------------------
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let [_, job_file] = &args.positional[..] else {
+        return Err("usage: serve submit <job.json> --spool DIR".to_string());
+    };
+    let spool = Spool::open(args.dir("spool")?)?;
+    let src = fs::read_to_string(job_file).map_err(|e| format!("{job_file}: {e}"))?;
+    let spec: JobSpec = decode_job(&src).map_err(|e| format!("{job_file}: {e}"))?;
+    for queue in ["incoming", "active"] {
+        let queued = spool.sub(queue).join(format!("{}.json", spec.name));
+        if queued.exists() {
+            return Err(format!(
+                "job `{}` is already {}; pick another job name",
+                spec.name,
+                if queue == "incoming" {
+                    "queued"
+                } else {
+                    "being served"
+                }
+            ));
+        }
+    }
+    write_atomic(
+        &spool.sub("incoming").join(format!("{}.json", spec.name)),
+        &src,
+    )?;
+    println!(
+        "submitted job {} ({})",
+        spec.name,
+        match &spec.source {
+            peas_sim::JobSource::Scenario(s) => format!("scenario {s}"),
+            peas_sim::JobSource::Inline(_) => "inline scenario".to_string(),
+        }
+    );
+    Ok(())
+}
+
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let spool = Spool::open(args.dir("spool")?)?;
+    let cache = ResultCache::open(args.dir("cache")?).map_err(|e| format!("--cache: {e}"))?;
+    let scan = cache.scan().map_err(|e| format!("cache scan: {e}"))?;
+    println!(
+        "cache: {} record(s), {} distinct key(s) in {} segment(s), {} quarantined, {} torn",
+        scan.records,
+        scan.len(),
+        scan.segments,
+        scan.quarantined,
+        scan.torn
+    );
+    for queue in ["incoming", "active", "done", "failed"] {
+        let files = spool.list(queue).map_err(|e| e.to_string())?;
+        if !files.is_empty() {
+            let names: Vec<String> = files
+                .iter()
+                .filter_map(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+                .collect();
+            println!("{queue}: {} ({})", files.len(), names.join(", "));
+        }
+    }
+    // Live progress first, then finished outcomes, each name-sorted.
+    let mut progress_files = spool.list("progress").map_err(|e| e.to_string())?;
+    progress_files.sort();
+    for path in progress_files {
+        if let Ok(p) = fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|src| decode_progress(src.trim()))
+        {
+            println!("job {}: running {}/{}", p.name, p.done, p.total);
+        }
+    }
+    let mut responses = spool.list("responses").map_err(|e| e.to_string())?;
+    responses.retain(|p| p.to_string_lossy().ends_with(".response.json"));
+    responses.sort();
+    for path in responses {
+        let Ok(outcome) = fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|src| decode_outcome(src.trim()))
+        else {
+            continue;
+        };
+        match &outcome.error {
+            None => println!(
+                "job {}: done total={} cached={} executed={} result={:#018X}",
+                outcome.name,
+                outcome.total,
+                outcome.cached,
+                outcome.executed,
+                outcome.result_fingerprint
+            ),
+            Some(error) => println!("job {}: failed ({error})", outcome.name),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_control(args: &Args, what: &str) -> Result<(), String> {
+    let spool = Spool::open(args.dir("spool")?)?;
+    fs::write(spool.control_path(what), "")
+        .map_err(|e| format!("cannot write control file: {e}"))?;
+    println!("{what} requested");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = env::args().skip(1).collect();
+    let args = match Args::parse(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(command) = args.positional.first() else {
+        eprintln!(
+            "usage: serve <run|submit|status|drain|shutdown> [arguments] --spool DIR [options]\n\
+             (e.g. `serve run --spool target/spool --cache target/cache --drain`; \
+             see the module docs in crates/bench/src/bin/serve.rs)"
+        );
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args),
+        "submit" => cmd_submit(&args),
+        "status" => cmd_status(&args),
+        "drain" => cmd_control(&args, "drain"),
+        "shutdown" => cmd_control(&args, "shutdown"),
+        other => Err(format!(
+            "unknown command `{other}`; expected run, submit, status, drain or shutdown"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

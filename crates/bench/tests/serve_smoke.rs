@@ -1,0 +1,232 @@
+//! Process-level conformance for `peas-bench serve`: drive the real
+//! binary through the full job lifecycle — submit, serve, SIGKILL
+//! mid-sweep, restart, resume — and byte-compare every response against
+//! an in-process reference run. This is the library-free mirror of the
+//! `serve-smoke` CI job.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use peas_scenario::{compile, load_str};
+use peas_sim::job::decode_outcome;
+use peas_sim::{encode_report, ResultCache, Runner};
+
+/// The inline scenario every test job submits: a 2 x 2 sweep (two
+/// densities x two seeds) over a tiny fast field, exactly 4 shards.
+const INLINE: &str = "[scenario]\nhorizon = 300s\n\n[field]\nwidth = 25.0\nheight = 25.0\n\n\
+                      [deployment]\ncount = 25\n\n[grab]\nenabled = false\n\n\
+                      [failures]\nenabled = false\n\n[sweeps]\naxis = \"deployment.count\"\n\
+                      values = [25, 30]\nseeds = [1, 2]\n";
+
+fn job_json(name: &str) -> String {
+    format!(
+        "{{\"schema\":1,\"job\":\"{name}\",\"inline\":\"{}\"}}",
+        INLINE
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    )
+}
+
+/// The reference bytes: compile the same inline source in-process and
+/// run it uncached — what every served `reports.jsonl` must equal.
+fn reference_bytes() -> String {
+    let doc = load_str(INLINE).expect("inline source parses");
+    let compiled = compile(&doc, "reference").expect("compiles");
+    let configs: Vec<_> = compiled.runs().into_iter().map(|r| r.config).collect();
+    let mut out = String::new();
+    for report in Runner::configs(configs).run() {
+        out.push_str(&encode_report(&report));
+        out.push('\n');
+    }
+    out
+}
+
+fn serve(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(args)
+        .output()
+        .expect("spawn serve binary")
+}
+
+fn serve_ok(args: &[&str]) -> Output {
+    let out = serve(args);
+    assert!(
+        out.status.success(),
+        "serve {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+struct TestSpool {
+    root: PathBuf,
+}
+
+impl TestSpool {
+    fn new(tag: &str) -> TestSpool {
+        let root = std::env::temp_dir().join(format!("peas-serve-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("mkdir");
+        TestSpool { root }
+    }
+
+    fn spool(&self) -> String {
+        self.root.join("spool").to_string_lossy().into_owned()
+    }
+
+    fn cache(&self) -> String {
+        self.root.join("cache").to_string_lossy().into_owned()
+    }
+
+    fn submit(&self, name: &str) {
+        let file = self.root.join(format!("{name}.submission.json"));
+        fs::write(&file, job_json(name)).expect("write job file");
+        serve_ok(&[
+            "submit",
+            file.to_str().expect("utf8"),
+            "--spool",
+            &self.spool(),
+        ]);
+    }
+
+    fn drain(&self, extra: &[&str]) -> Output {
+        let spool = self.spool();
+        let cache = self.cache();
+        let mut args = vec![
+            "run",
+            "--spool",
+            &spool,
+            "--cache",
+            &cache,
+            "--drain",
+            "--workers",
+            "2",
+        ];
+        args.extend_from_slice(extra);
+        serve(&args)
+    }
+
+    fn response(&self, name: &str) -> peas_sim::JobOutcome {
+        let path = Path::new(&self.spool())
+            .join("responses")
+            .join(format!("{name}.response.json"));
+        let src = fs::read_to_string(&path).expect("response file");
+        decode_outcome(src.trim()).expect("response decodes")
+    }
+
+    fn reports(&self, name: &str) -> String {
+        let path = Path::new(&self.spool())
+            .join("responses")
+            .join(format!("{name}.reports.jsonl"));
+        fs::read_to_string(&path).expect("reports file")
+    }
+}
+
+impl Drop for TestSpool {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// The headline end-to-end property: a job SIGKILLed mid-sweep resumes
+/// after restart with the cache intact, the merged response is
+/// byte-identical to an uninterrupted in-process run, and a duplicate
+/// submission afterwards is served entirely from cache.
+#[test]
+fn killed_service_resumes_and_serves_byte_identical_responses() {
+    let t = TestSpool::new("kill");
+    t.submit("first");
+
+    // Fault injection: the service SIGKILLs itself after one executed
+    // shard, mid-job. The exit is abnormal by construction.
+    let out = t.drain(&["--kill-after", "1", "--workers", "1"]);
+    assert!(
+        !out.status.success(),
+        "--kill-after must die abnormally, got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The interrupted job is still claimed in active/, and the cache
+    // already holds the executed shard — intact, nothing quarantined.
+    let spool = PathBuf::from(t.spool());
+    assert!(
+        spool.join("active").join("first.json").exists(),
+        "killed job must stay in active/ for recovery"
+    );
+    let cache = ResultCache::open(t.cache()).expect("open cache");
+    let scan = cache.scan().expect("scan survives the kill");
+    assert_eq!(scan.len(), 1, "exactly the pre-kill shard is cached");
+    assert_eq!(scan.quarantined, 0, "a clean kill corrupts nothing");
+
+    // Restart: the service recovers the active job and finishes it from
+    // where the cache left off.
+    let out = t.drain(&[]);
+    assert!(
+        out.status.success(),
+        "restarted serve failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let first = t.response("first");
+    assert!(first.is_done(), "recovered job must complete: {first:?}");
+    assert_eq!(first.total, 4);
+    assert_eq!(first.cached, 1, "the pre-kill shard is served from cache");
+    assert_eq!(first.executed, 3, "only the remaining shards re-run");
+    assert_eq!(
+        t.reports("first"),
+        reference_bytes(),
+        "resumed response must be byte-identical to an uninterrupted run"
+    );
+
+    // A duplicate submission under a new name runs zero shards and
+    // serves the exact same bytes.
+    t.submit("second");
+    serve_ok(&["status", "--spool", &t.spool(), "--cache", &t.cache()]);
+    let out = t.drain(&[]);
+    assert!(out.status.success());
+    let second = t.response("second");
+    assert_eq!((second.total, second.cached, second.executed), (4, 4, 0));
+    assert_eq!(second.result_fingerprint, first.result_fingerprint);
+    assert_eq!(t.reports("second"), t.reports("first"));
+}
+
+/// Bad submissions are answered, not wedged: an unservable job lands in
+/// failed/ with a diagnostic response, and the service keeps draining.
+#[test]
+fn unservable_jobs_fail_cleanly_and_do_not_wedge_the_spool() {
+    let t = TestSpool::new("badjob");
+    let file = PathBuf::from(t.spool())
+        .join("incoming")
+        .join("broken.json");
+    fs::create_dir_all(file.parent().expect("parent")).expect("mkdir incoming");
+    fs::write(
+        &file,
+        r#"{"schema":1,"job":"broken","scenario":"no-such-scenario"}"#,
+    )
+    .expect("write job");
+    t.submit("good");
+
+    let out = t.drain(&[]);
+    assert!(out.status.success());
+    let broken = t.response("broken");
+    assert!(!broken.is_done());
+    assert!(
+        broken
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("no-such-scenario"),
+        "diagnostic must name the missing scenario: {broken:?}"
+    );
+    assert!(
+        PathBuf::from(t.spool())
+            .join("failed")
+            .join("broken.json")
+            .exists(),
+        "unservable job must be archived in failed/"
+    );
+    let good = t.response("good");
+    assert!(good.is_done(), "later jobs still serve: {good:?}");
+    assert_eq!(t.reports("good"), reference_bytes());
+}

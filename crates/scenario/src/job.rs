@@ -1,0 +1,125 @@
+//! Compiling sweep-service job submissions to concrete runs.
+//!
+//! A [`JobSpec`] (the wire form lives in [`peas_sim::job`]) names either
+//! a `.peas` scenario — by corpus stem or by path — or carries an inline
+//! scenario source. This module is the bridge from that submission to a
+//! [`CompiledScenario`]: resolve, load, compile, and reject the job
+//! shapes the sweep service cannot serve (model-checking scenarios,
+//! inline sources using `extends`).
+
+use std::path::{Path, PathBuf};
+
+use peas_sim::job::{JobSource, JobSpec};
+
+use crate::compile::{compile, CompiledScenario};
+use crate::error::ScenarioError;
+use crate::loader::{load_compiled, load_str};
+
+/// Resolves a job's scenario reference against the service's scenario
+/// directory: a reference ending in `.peas` is a path (absolute used
+/// as-is, relative joined onto `scenario_dir`); anything else is a
+/// corpus stem resolving to `scenario_dir/<stem>.peas`.
+pub fn job_scenario_path(reference: &str, scenario_dir: &Path) -> PathBuf {
+    let direct = Path::new(reference);
+    if direct.extension().is_some_and(|ext| ext == "peas") {
+        if direct.is_absolute() {
+            direct.to_path_buf()
+        } else {
+            scenario_dir.join(direct)
+        }
+    } else {
+        scenario_dir.join(format!("{reference}.peas"))
+    }
+}
+
+/// Compiles a job submission to the scenario it asks to run. Inline
+/// sources compile with the job name as the scenario's default name;
+/// referenced scenarios go through the normal loader (including
+/// `extends` flattening).
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] on load/parse/compile failure, on an
+/// inline source using `extends` (inline jobs must be self-contained),
+/// or when the scenario declares `[model]` — model-checking scenarios
+/// have no simulation runs for the sweep service to schedule.
+pub fn compile_job(spec: &JobSpec, scenario_dir: &Path) -> Result<CompiledScenario, ScenarioError> {
+    let compiled = match &spec.source {
+        JobSource::Inline(text) => {
+            let doc = load_str(text)?;
+            compile(&doc, &spec.name)?
+        }
+        JobSource::Scenario(reference) => {
+            load_compiled(&job_scenario_path(reference, scenario_dir))?
+        }
+    };
+    if compiled.model.is_some() {
+        return Err(ScenarioError::whole_doc(format!(
+            "job `{}` names a model-checking scenario; the sweep service only \
+             schedules simulation sweeps",
+            spec.name
+        )));
+    }
+    Ok(compiled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, source: JobSource) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            source,
+        }
+    }
+
+    #[test]
+    fn stem_and_path_references_resolve_against_the_scenario_dir() {
+        let dir = Path::new("/corpus");
+        assert_eq!(
+            job_scenario_path("sweep-smoke", dir),
+            PathBuf::from("/corpus/sweep-smoke.peas")
+        );
+        assert_eq!(
+            job_scenario_path("sub/custom.peas", dir),
+            PathBuf::from("/corpus/sub/custom.peas")
+        );
+        assert_eq!(
+            job_scenario_path("/abs/custom.peas", dir),
+            PathBuf::from("/abs/custom.peas")
+        );
+    }
+
+    #[test]
+    fn inline_jobs_compile_with_the_job_name() {
+        let s = spec(
+            "adhoc",
+            JobSource::Inline("[deployment]\ncount = 30\n".to_string()),
+        );
+        let compiled = compile_job(&s, Path::new("/nowhere")).expect("compiles");
+        assert_eq!(compiled.name, "adhoc");
+        assert_eq!(compiled.base.node_count, 30);
+        assert_eq!(compiled.runs().len(), 1);
+    }
+
+    #[test]
+    fn inline_jobs_cannot_extend() {
+        let s = spec(
+            "adhoc",
+            JobSource::Inline("extends = \"base.peas\"\n".to_string()),
+        );
+        let err = compile_job(&s, Path::new("/nowhere")).expect_err("rejected");
+        assert!(err
+            .message
+            .contains("cannot be resolved without a file path"));
+    }
+
+    #[test]
+    fn model_scenarios_are_rejected() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+        let s = spec("mc", JobSource::Scenario("model-3node".to_string()));
+        let err = compile_job(&s, &dir).expect_err("rejected");
+        assert!(err.message.contains("model-checking scenario"), "{err}");
+    }
+}

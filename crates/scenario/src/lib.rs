@@ -40,6 +40,7 @@ pub mod ast;
 pub mod compile;
 pub mod conformance;
 pub mod error;
+pub mod job;
 pub mod loader;
 pub mod parse;
 pub mod print;
@@ -51,6 +52,7 @@ pub use compile::{
 };
 pub use conformance::{first_divergence, sample_fingerprint, Divergence, Snapshot};
 pub use error::ScenarioError;
+pub use job::{compile_job, job_scenario_path};
 pub use loader::{load_compiled, load_path, load_str};
 pub use parse::{parse, ParseError};
 pub use print::print;

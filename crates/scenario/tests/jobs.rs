@@ -1,0 +1,104 @@
+//! Integration of the job wire form (`peas_sim::job`) with the scenario
+//! compiler (`compile_job`): a submission decoded from client JSON must
+//! compile to exactly the runs the referenced scenario produces, so the
+//! sweep service's shard enumeration (and therefore its cache keys)
+//! agree with `peas-bench scenario run` and `peas-bench sweep`.
+
+use std::path::{Path, PathBuf};
+
+use peas_scenario::{compile_job, load_compiled};
+use peas_sim::job::{decode_job, encode_job, JobSource, JobSpec};
+use peas_sim::{config_fingerprint, enumerate_shards};
+
+fn corpus() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+/// A decoded scenario-reference job compiles to the same labels,
+/// fingerprints and seeds as loading the `.peas` file directly — the
+/// cache sees identical shard keys whichever door a sweep comes in by.
+#[test]
+fn scenario_jobs_compile_to_the_corpus_scenarios_shards() {
+    let src = r#"{"schema":1,"job":"night-sweep","scenario":"sweep-smoke"}"#;
+    let spec = decode_job(src).expect("decodes");
+    let via_job = compile_job(&spec, &corpus()).expect("compiles");
+    let direct = load_compiled(&corpus().join("sweep-smoke.peas")).expect("loads");
+
+    let shard_keys = |runs: Vec<peas_scenario::SweepRun>| -> Vec<(String, u64, u64)> {
+        enumerate_shards(runs.into_iter().map(|r| (r.label, r.config)).collect())
+            .into_iter()
+            .map(|s| (s.label, s.key.fingerprint, s.key.seed))
+            .collect()
+    };
+    let via_job = shard_keys(via_job.runs());
+    let direct = shard_keys(direct.runs());
+    assert_eq!(via_job.len(), 4, "sweep-smoke is a 2 x 2 sweep");
+    assert_eq!(via_job, direct, "job path and direct load must agree");
+}
+
+/// An inline job is self-contained: the same source submitted under two
+/// different job names yields identical shard keys (the job name labels
+/// the spool artifacts, never the cache address).
+#[test]
+fn inline_job_shard_keys_are_independent_of_the_job_name() {
+    let inline = "[deployment]\ncount = 30\n\n[sweeps]\naxis = \"deployment.count\"\n\
+                  values = [30, 40]\nseeds = [7]\n";
+    let keys_for = |name: &str| -> Vec<(u64, u64)> {
+        let spec = JobSpec {
+            name: name.to_string(),
+            source: JobSource::Inline(inline.to_string()),
+        };
+        compile_job(&spec, Path::new("/nowhere"))
+            .expect("compiles")
+            .runs()
+            .into_iter()
+            .map(|r| (config_fingerprint(&r.config), r.config.seed))
+            .collect()
+    };
+    let a = keys_for("client-a.job");
+    let b = keys_for("client-b.job");
+    assert_eq!(a.len(), 2);
+    assert_eq!(a, b, "cache keys must not depend on the submission name");
+}
+
+/// The encode/decode round trip survives scenario sources with the
+/// characters a real `.peas` file contains (newlines, quotes, brackets).
+#[test]
+fn job_round_trips_a_real_scenario_source() {
+    let source = std::fs::read_to_string(corpus().join("smoke.peas")).expect("read smoke.peas");
+    let spec = JobSpec {
+        name: "smoke-inline".to_string(),
+        source: JobSource::Inline(source),
+    };
+    let back = decode_job(&encode_job(&spec)).expect("round trip");
+    assert_eq!(back, spec);
+    let compiled = compile_job(&back, Path::new("/nowhere")).expect("compiles");
+    assert_eq!(compiled.name, "smoke-inline");
+    assert_eq!(compiled.runs().len(), 1);
+}
+
+/// Jobs that cannot be served fail with actionable messages: a missing
+/// corpus stem reports the resolved path, and the loader's span-tagged
+/// diagnostics pass through for broken inline sources.
+#[test]
+fn unservable_jobs_fail_with_useful_errors() {
+    let missing = JobSpec {
+        name: "typo".to_string(),
+        source: JobSource::Scenario("no-such-scenario".to_string()),
+    };
+    let err = compile_job(&missing, &corpus()).expect_err("missing stem");
+    assert!(
+        err.to_string().contains("no-such-scenario.peas"),
+        "error must name the resolved path: {err}"
+    );
+
+    let broken = JobSpec {
+        name: "broken".to_string(),
+        source: JobSource::Inline("[deployment]\ncount = \"lots\"\n".to_string()),
+    };
+    let err = compile_job(&broken, Path::new("/nowhere")).expect_err("type error");
+    assert!(
+        err.to_string().contains("count"),
+        "diagnostic must name the bad key: {err}"
+    );
+}

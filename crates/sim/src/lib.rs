@@ -30,7 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
+pub mod job;
 pub mod metrics;
 pub mod report_json;
 pub mod runner;
@@ -38,12 +40,16 @@ pub mod session;
 pub mod trace;
 pub mod world;
 
+pub use cache::{CacheRecord, CacheScan, CacheWriter, ResultCache, SweepPlan};
 pub use config::{BatterySpec, EventWorkload, FailureConfig, MetricsConfig, ScenarioConfig};
+pub use job::{JobOutcome, JobProgress, JobSource, JobSpec, JOB_SCHEMA};
 pub use metrics::{RunReport, Sample};
 pub use report_json::{decode_report, encode_report, REPORT_SCHEMA};
 pub use runner::{average_metric, AveragedPoint, Runner};
 #[allow(deprecated)]
 pub use runner::{run_configs_parallel, run_one, run_seeds, run_seeds_parallel};
-pub use session::{config_fingerprint, SessionError, Shard, ShardKey, SweepSession};
+pub use session::{
+    config_fingerprint, enumerate_shards, fnv1a, SessionError, Shard, ShardKey, SweepSession,
+};
 pub use trace::{DeathKind, FrameKind, TraceCounts, TraceEvent, TraceSink};
 pub use world::World;

@@ -46,6 +46,18 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a prime.
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
+/// FNV-1a over an arbitrary byte string — the workspace's one
+/// non-cryptographic content hash, shared by [`config_fingerprint`] and
+/// the result cache's record checksums ([`crate::cache`]).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// The checkpoint identity of a sweep run: the fingerprint of its config
 /// (seed excluded) plus the seed. Two shards with equal keys are the same
 /// deterministic run and may share a journal entry.
@@ -78,12 +90,28 @@ pub struct Shard {
 /// stale journal entries simply stop matching (their shards re-run).
 pub fn config_fingerprint(config: &ScenarioConfig) -> u64 {
     let canonical = format!("{:?}", config.clone().with_seed(0));
-    let mut hash = FNV_OFFSET;
-    for byte in canonical.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
+    fnv1a(canonical.as_bytes())
+}
+
+/// Enumerates `(label, config)` runs as [`Shard`]s in input order — the
+/// single shard-numbering rule shared by [`SweepSession`] journals and
+/// the content-addressed result cache ([`crate::cache::SweepPlan`]).
+pub fn enumerate_shards(runs: Vec<(String, ScenarioConfig)>) -> Vec<Shard> {
+    runs.into_iter()
+        .enumerate()
+        .map(|(index, (label, config))| {
+            let key = ShardKey {
+                fingerprint: config_fingerprint(&config),
+                seed: config.seed,
+            };
+            Shard {
+                index,
+                label,
+                config,
+                key,
+            }
+        })
+        .collect()
 }
 
 /// Why a session operation failed.
@@ -154,22 +182,7 @@ impl SweepSession {
     ) -> io::Result<SweepSession> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        let shards = runs
-            .into_iter()
-            .enumerate()
-            .map(|(index, (label, config))| {
-                let key = ShardKey {
-                    fingerprint: config_fingerprint(&config),
-                    seed: config.seed,
-                };
-                Shard {
-                    index,
-                    label,
-                    config,
-                    key,
-                }
-            })
-            .collect();
+        let shards = enumerate_shards(runs);
         Ok(SweepSession { dir, shards })
     }
 
@@ -333,7 +346,7 @@ impl SweepSession {
 /// leaving *both* unreadable — the journal would never converge for that
 /// shard. Dropping the tail loses nothing: a torn line was never a
 /// complete record, and its shard is exactly what the resume re-runs.
-fn open_segment_for_append(path: &Path) -> io::Result<fs::File> {
+pub(crate) fn open_segment_for_append(path: &Path) -> io::Result<fs::File> {
     use std::io::{Read, Seek, SeekFrom};
     let mut file = fs::OpenOptions::new()
         .read(true)
