@@ -218,7 +218,7 @@ fn bench_deployment_dist(c: &mut Criterion) {
 
 fn bench_irregular(c: &mut Criterion) {
     use peas::PeasConfig;
-    use peas_radio::Channel;
+    use peas_radio::PropagationSpec;
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("sec4_fixed_power_shadowed", |b| {
@@ -227,7 +227,7 @@ fn bench_irregular(c: &mut Criterion) {
                 .with_seed(3)
                 .with_failure_rate(0.0);
             cfg.grab = None;
-            cfg.channel = Channel::shadowed(5);
+            cfg.propagation = PropagationSpec::shadowed(5);
             cfg.peas = PeasConfig::builder().fixed_power(10.0).build();
             cfg.horizon = SimTime::from_secs(1_000);
             black_box(Runner::new(cfg).run_single())

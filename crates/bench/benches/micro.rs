@@ -10,7 +10,7 @@ use peas::{Input, Message, PeasConfig, PeasNode};
 use peas_des::prelude::*;
 use peas_geom::{connectivity, CoverageGrid, Deployment, Field, SpatialGrid};
 use peas_grab::{GrabConfig, GrabRelay, Report};
-use peas_radio::{Channel, Medium, NodeId, RxInfo};
+use peas_radio::{Disc, Medium, NodeId, PropagationSpec, RxInfo, TerrainSpec};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("des/schedule_pop_10k", |b| {
@@ -90,7 +90,7 @@ fn bench_medium(c: &mut Criterion) {
     let positions = Deployment::Uniform.generate(field, 480, &mut rng);
     c.bench_function("radio/broadcast_complete_x100", |b| {
         b.iter_batched(
-            || Medium::new(field, &positions, Channel::Disc, 20_000, 0.0),
+            || Medium::new(field, &positions, Disc, 20_000, 0.0),
             |mut medium| {
                 let mut rng = SimRng::new(7);
                 let mut now = SimTime::ZERO;
@@ -102,6 +102,18 @@ fn bench_medium(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         );
+    });
+}
+
+fn bench_terrain_medium(c: &mut Criterion) {
+    let field = Field::paper();
+    let mut rng = SimRng::new(6);
+    let positions = Deployment::Uniform.generate(field, 480, &mut rng);
+    // Terrain pays its per-edge diffraction profile walk at build time;
+    // this pins the cost of standing up a paper-scale medium on a raster.
+    let spec = PropagationSpec::Terrain(TerrainSpec::generated(11, 11, 5.0, 9));
+    c.bench_function("radio/terrain_medium_build_480", |b| {
+        b.iter(|| black_box(Medium::new(field, &positions, spec.build(), 20_000, 0.0)));
     });
 }
 
@@ -194,6 +206,7 @@ criterion_group!(
     bench_coverage,
     bench_connectivity,
     bench_medium,
+    bench_terrain_medium,
     bench_peas_node,
     bench_grab_relay
 );

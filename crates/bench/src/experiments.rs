@@ -548,21 +548,21 @@ pub fn deployment_dist(opts: &ExperimentOpts) -> String {
 /// under signal irregularity keeps the network functioning, with denser
 /// working sets where reception is poorer.
 pub fn irregular(opts: &ExperimentOpts) -> String {
-    use peas_radio::Channel;
+    use peas_radio::PropagationSpec;
     let n = if opts.quick { 240 } else { 480 };
     let mut out = format!(
         "Section 4 — fixed transmission power and signal irregularity (N = {n}, no failures)\n\
          configuration              mean working   1-coverage @2500 s\n",
     );
-    let cases: [(&str, bool, Channel); 3] = [
-        ("variable power, disc", false, Channel::Disc),
-        ("fixed power, disc", true, Channel::Disc),
-        ("fixed power, shadowed", true, Channel::shadowed(5)),
+    let cases: [(&str, bool, PropagationSpec); 3] = [
+        ("variable power, disc", false, PropagationSpec::Disc),
+        ("fixed power, disc", true, PropagationSpec::Disc),
+        ("fixed power, shadowed", true, PropagationSpec::shadowed(5)),
     ];
-    for (name, fixed, channel) in cases {
+    for (name, fixed, propagation) in cases {
         let mut config = ScenarioConfig::paper(n).with_failure_rate(0.0);
         config.grab = None;
-        config.channel = channel;
+        config.propagation = propagation;
         if fixed {
             config.peas = PeasConfig::builder().fixed_power(10.0).build();
         }

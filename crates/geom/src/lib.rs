@@ -13,6 +13,8 @@
 //! * [`CoverageGrid`] — the K-coverage metric of Section 5.2;
 //! * [`CoverageCsr`] — precomputed node→cell coverage rows, making
 //!   incremental coverage maintenance a pure counter walk;
+//! * [`ElevationRaster`] — bilinearly interpolated height-map lattices,
+//!   the data substrate for terrain-aware propagation backends;
 //! * [`connectivity`] — the working-graph analysis behind Section 3's
 //!   `Rt ≥ (1 + √5)·Rp` connectivity condition;
 //! * [`UnionFind`] — the disjoint-set forest used by the above;
@@ -49,6 +51,7 @@ pub mod grid;
 pub mod neighbors;
 pub mod par;
 pub mod point;
+pub mod raster;
 pub mod three_d;
 pub mod unionfind;
 
@@ -59,4 +62,5 @@ pub use field::Field;
 pub use grid::SpatialGrid;
 pub use neighbors::NeighborTables;
 pub use point::Point;
+pub use raster::ElevationRaster;
 pub use unionfind::UnionFind;

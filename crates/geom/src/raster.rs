@@ -1,0 +1,266 @@
+//! Height-map rasters for terrain-aware propagation.
+//!
+//! An [`ElevationRaster`] is a row-major lattice of elevation samples
+//! (meters above a common datum) spaced `cell_size` meters apart, covering
+//! the rectangle `[0, (cols-1)·cell] × [0, (rows-1)·cell]`. Continuous
+//! elevations between lattice points come from bilinear interpolation;
+//! queries outside the covered rectangle clamp to the nearest edge, so the
+//! surface is total over the whole plane.
+//!
+//! The raster is pure data: it carries no randomness and no I/O, so every
+//! elevation query is a deterministic function of the sample grid — the
+//! property the propagation layer's build-time loss terms rely on.
+//! [`ElevationRaster::generate`] produces synthetic rolling terrain from a
+//! seeded [`SimRng`] stream for scenarios that want hills without shipping
+//! an inline height map.
+
+use peas_des::rng::SimRng;
+
+use crate::point::Point;
+
+/// A rectangular height map: `rows × cols` elevation samples on a square
+/// lattice with `cell_size` meter spacing, bilinearly interpolated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElevationRaster {
+    cols: usize,
+    rows: usize,
+    cell_size: f64,
+    /// Row-major samples: `data[r * cols + c]` is the elevation at
+    /// `(c · cell_size, r · cell_size)`.
+    data: Vec<f64>,
+}
+
+impl ElevationRaster {
+    /// Builds a raster from row-major samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: fewer than
+    /// 2×2 samples, a non-positive or non-finite `cell_size`, a data
+    /// length that does not equal `cols × rows`, or a non-finite sample.
+    pub fn new(
+        cols: usize,
+        rows: usize,
+        cell_size: f64,
+        data: Vec<f64>,
+    ) -> Result<ElevationRaster, String> {
+        if cols < 2 || rows < 2 {
+            return Err(format!(
+                "raster needs at least 2x2 samples, got {cols}x{rows}"
+            ));
+        }
+        if !(cell_size.is_finite() && cell_size > 0.0) {
+            return Err(format!("cell_size must be positive, got {cell_size}"));
+        }
+        let want = cols
+            .checked_mul(rows)
+            .ok_or_else(|| format!("raster dimensions {cols}x{rows} overflow"))?;
+        if data.len() != want {
+            return Err(format!(
+                "raster has {} samples but {cols} cols x {rows} rows = {want}",
+                data.len()
+            ));
+        }
+        if let Some(i) = data.iter().position(|h| !h.is_finite()) {
+            return Err(format!("raster sample {i} is not finite"));
+        }
+        Ok(ElevationRaster {
+            cols,
+            rows,
+            cell_size,
+            data,
+        })
+    }
+
+    /// Deterministic synthetic terrain: `hills` Gaussian mounds with
+    /// seeded centers, widths and heights (heights up to `amplitude`
+    /// meters), summed over the lattice. Same inputs, same raster —
+    /// the generator consumes one decoupled [`SimRng`] stream and
+    /// nothing else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting raster would be invalid (dimensions below
+    /// 2×2, non-positive `cell_size`, or a non-finite `amplitude`).
+    pub fn generate(
+        cols: usize,
+        rows: usize,
+        cell_size: f64,
+        seed: u64,
+        amplitude: f64,
+        hills: usize,
+    ) -> ElevationRaster {
+        assert!(
+            amplitude.is_finite() && amplitude >= 0.0,
+            "amplitude must be finite and non-negative, got {amplitude}"
+        );
+        let mut rng = SimRng::stream(seed, 0x7E44_A1B5);
+        let width = (cols.saturating_sub(1)) as f64 * cell_size;
+        let height = (rows.saturating_sub(1)) as f64 * cell_size;
+        let min_side = width.min(height);
+        let mounds: Vec<(f64, f64, f64, f64)> = (0..hills)
+            .map(|_| {
+                let cx = rng.range_f64(0.0, width.max(f64::MIN_POSITIVE));
+                let cy = rng.range_f64(0.0, height.max(f64::MIN_POSITIVE));
+                // Widths between 10% and 35% of the shorter side keep the
+                // mounds resolvable at any lattice density.
+                let sigma = rng.range_f64(0.10, 0.35) * min_side.max(cell_size);
+                let peak = rng.range_f64(0.2, 1.0) * amplitude;
+                (cx, cy, sigma, peak)
+            })
+            .collect();
+        let mut data = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = c as f64 * cell_size;
+                let y = r as f64 * cell_size;
+                let h: f64 = mounds
+                    .iter()
+                    .map(|&(cx, cy, sigma, peak)| {
+                        let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+                        peak * (-d2 / (2.0 * sigma * sigma)).exp()
+                    })
+                    .sum();
+                data.push(h);
+            }
+        }
+        // peas-lint: allow(r1-unchecked-panic) -- the asserts above make the constructor infallible here
+        ElevationRaster::new(cols, rows, cell_size, data).expect("generated raster is valid")
+    }
+
+    /// Sample columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sample rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Lattice spacing, meters.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Width of the covered rectangle, meters: `(cols - 1) · cell_size`.
+    pub fn width(&self) -> f64 {
+        (self.cols - 1) as f64 * self.cell_size
+    }
+
+    /// Height of the covered rectangle, meters: `(rows - 1) · cell_size`.
+    pub fn height(&self) -> f64 {
+        (self.rows - 1) as f64 * self.cell_size
+    }
+
+    /// Bytes of sample payload (the scale bench's memory budget unit).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Bilinearly interpolated elevation at `p`. Coordinates outside the
+    /// covered rectangle clamp to the nearest edge, so the surface is
+    /// defined everywhere.
+    pub fn elevation_at(&self, p: Point) -> f64 {
+        let x = (p.x / self.cell_size).clamp(0.0, (self.cols - 1) as f64);
+        let y = (p.y / self.cell_size).clamp(0.0, (self.rows - 1) as f64);
+        let c0 = (x as usize).min(self.cols - 2);
+        let r0 = (y as usize).min(self.rows - 2);
+        let fx = x - c0 as f64;
+        let fy = y - r0 as f64;
+        let h00 = self.data[r0 * self.cols + c0];
+        let h10 = self.data[r0 * self.cols + c0 + 1];
+        let h01 = self.data[(r0 + 1) * self.cols + c0];
+        let h11 = self.data[(r0 + 1) * self.cols + c0 + 1];
+        let top = h00 + (h10 - h00) * fx;
+        let bottom = h01 + (h11 - h01) * fx;
+        top + (bottom - top) * fy
+    }
+
+    /// Smallest and largest lattice sample.
+    pub fn min_max(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &h in &self.data {
+            lo = lo.min(h);
+            hi = hi.max(h);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> ElevationRaster {
+        // Elevation = x over a 3x2 lattice with 10 m cells.
+        ElevationRaster::new(3, 2, 10.0, vec![0.0, 10.0, 20.0, 0.0, 10.0, 20.0]).expect("valid")
+    }
+
+    #[test]
+    fn constructor_rejects_malformed_rasters() {
+        let err = ElevationRaster::new(1, 2, 1.0, vec![0.0, 0.0]).unwrap_err();
+        assert!(err.contains("at least 2x2"), "{err}");
+        let err = ElevationRaster::new(2, 2, 0.0, vec![0.0; 4]).unwrap_err();
+        assert!(err.contains("cell_size must be positive"), "{err}");
+        let err = ElevationRaster::new(2, 2, -3.0, vec![0.0; 4]).unwrap_err();
+        assert!(err.contains("cell_size must be positive"), "{err}");
+        let err = ElevationRaster::new(3, 2, 1.0, vec![0.0; 5]).unwrap_err();
+        assert!(err.contains("5 samples but 3 cols x 2 rows = 6"), "{err}");
+        let err = ElevationRaster::new(2, 2, 1.0, vec![0.0, 1.0, f64::NAN, 3.0]).unwrap_err();
+        assert!(err.contains("sample 2 is not finite"), "{err}");
+    }
+
+    #[test]
+    fn lattice_points_are_exact_and_interior_is_bilinear() {
+        let r = ramp();
+        assert_eq!(r.elevation_at(Point::new(0.0, 0.0)), 0.0);
+        assert_eq!(r.elevation_at(Point::new(10.0, 0.0)), 10.0);
+        assert_eq!(r.elevation_at(Point::new(20.0, 10.0)), 20.0);
+        // Linear ramp: interpolation reproduces x exactly.
+        assert!((r.elevation_at(Point::new(7.5, 3.0)) - 7.5).abs() < 1e-12);
+        assert!((r.elevation_at(Point::new(13.0, 9.0)) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queries_outside_the_rectangle_clamp_to_the_edge() {
+        let r = ramp();
+        assert_eq!(r.elevation_at(Point::new(-5.0, 5.0)), 0.0);
+        assert_eq!(r.elevation_at(Point::new(100.0, 5.0)), 20.0);
+        assert_eq!(r.elevation_at(Point::new(7.5, -4.0)), 7.5);
+        assert_eq!(r.elevation_at(Point::new(7.5, 40.0)), 7.5);
+    }
+
+    #[test]
+    fn extent_and_memory_accounting() {
+        let r = ramp();
+        assert_eq!(r.width(), 20.0);
+        assert_eq!(r.height(), 10.0);
+        assert_eq!(r.cols(), 3);
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r.cell_size(), 10.0);
+        assert_eq!(r.memory_bytes(), 6 * 8);
+        assert_eq!(r.min_max(), (0.0, 20.0));
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_bounded() {
+        let a = ElevationRaster::generate(11, 11, 5.0, 42, 8.0, 6);
+        let b = ElevationRaster::generate(11, 11, 5.0, 42, 8.0, 6);
+        assert_eq!(a, b);
+        let c = ElevationRaster::generate(11, 11, 5.0, 43, 8.0, 6);
+        assert_ne!(a, c, "different seeds must give different terrain");
+        let (lo, hi) = a.min_max();
+        assert!(lo >= 0.0);
+        // Mounds can stack, but 6 mounds of <= 8 m stay under 6 * 8.
+        assert!(hi <= 48.0);
+        assert!(hi > 0.0, "generated terrain is completely flat");
+    }
+
+    #[test]
+    fn flat_generation_with_zero_amplitude() {
+        let r = ElevationRaster::generate(4, 4, 2.0, 7, 0.0, 5);
+        assert_eq!(r.min_max(), (0.0, 0.0));
+    }
+}

@@ -9,7 +9,9 @@
 //!   joule attributed to a cause, so Table 1's overhead ratio is *measured*;
 //! * [`packet`] — node ids, frame airtime (25 bytes at 20 kbps = 10 ms) and
 //!   per-link reception info;
-//! * [`Channel`] — unit-disc or log-normal-shadowed propagation;
+//! * [`PropagationModel`] — the pluggable per-link loss term, with
+//!   [`Disc`], [`LogNormalShadowing`] and terrain-raster [`Terrain`]
+//!   built-ins (and [`PropagationSpec`], their config-friendly recipe);
 //! * [`Medium`] — the shared broadcast channel with receiver-side
 //!   collisions, uniform loss, carrier sensing and half-duplex radios.
 //!
@@ -19,10 +21,10 @@
 //! use peas_des::rng::SimRng;
 //! use peas_des::time::SimTime;
 //! use peas_geom::{Field, Point};
-//! use peas_radio::{Channel, Medium, NodeId, PowerProfile};
+//! use peas_radio::{Disc, Medium, NodeId, PowerProfile};
 //!
 //! let positions = vec![Point::new(1.0, 1.0), Point::new(3.0, 1.0)];
-//! let mut medium = Medium::new(Field::new(10.0, 10.0), &positions, Channel::Disc, 20_000, 0.0);
+//! let mut medium = Medium::new(Field::new(10.0, 10.0), &positions, Disc, 20_000, 0.0);
 //! let mut rng = SimRng::new(1);
 //!
 //! // Node 0 probes its 3 m neighborhood, as PEAS does.
@@ -38,15 +40,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod channel;
 pub mod energy;
 pub mod medium;
 pub mod packet;
 pub mod power;
+pub mod propagation;
 pub mod reference;
 
-pub use channel::Channel;
 pub use energy::{Battery, EnergyCause, EnergyLedger};
 pub use medium::{Delivery, Medium, MediumStats, RxOutcome, Transmission, TxId, DEFAULT_GRID_CELL};
 pub use packet::{airtime, NodeId, RxInfo, PAPER_BITRATE_BPS, PAPER_CONTROL_FRAME_BYTES};
 pub use power::PowerProfile;
+pub use propagation::{
+    Disc, HeightMap, Link, LogNormalShadowing, PropagationModel, PropagationSpec, Terrain,
+    TerrainSpec, DEFAULT_ANTENNA_HEIGHT, DEFAULT_DIFFRACTION, DEFAULT_PATH_LOSS_EXP,
+    DEFAULT_SIGMA_DB, DEFAULT_WAVELENGTH,
+};

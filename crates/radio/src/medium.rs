@@ -42,8 +42,8 @@ use peas_des::rng::SimRng;
 use peas_des::time::{SimDuration, SimTime};
 use peas_geom::{Field, NeighborTables, Point, SpatialGrid};
 
-use crate::channel::Channel;
 use crate::packet::{airtime, NodeId, RxInfo};
+use crate::propagation::{Link, PropagationModel};
 
 /// Identifier of one in-flight transmission.
 ///
@@ -169,18 +169,18 @@ struct TxSlot {
 /// derives the cell from the declared classes instead.
 pub const DEFAULT_GRID_CELL: f64 = 10.0;
 
-/// The bucket-grid cell size for a channel and set of range classes: the
-/// largest physical reach any class can have (so one class's candidates are
-/// always found within the 3 × 3 bucket neighborhood), falling back to
-/// [`DEFAULT_GRID_CELL`] when no classes are declared.
-pub(crate) fn derived_grid_cell(channel: &Channel, classes: &[f64]) -> f64 {
+/// The bucket-grid cell size for a propagation model and set of range
+/// classes: the largest physical reach any class can have (so one class's
+/// candidates are always found within the 3 × 3 bucket neighborhood),
+/// falling back to [`DEFAULT_GRID_CELL`] when no classes are declared.
+pub(crate) fn derived_grid_cell(model: &dyn PropagationModel, classes: &[f64]) -> f64 {
     let mut cell = 0.0f64;
     for &r in classes {
         assert!(
             r.is_finite() && r > 0.0,
             "range class must be positive, got {r}"
         );
-        cell = cell.max(channel.max_reach(r));
+        cell = cell.max(model.max_reach(r));
     }
     if cell == 0.0 {
         DEFAULT_GRID_CELL
@@ -297,6 +297,10 @@ impl CarrierGrid {
 /// sender `i`'s decodable receivers in grid candidate order.
 struct DecodeTable {
     range: f64,
+    /// The model's physical reach for this class, cached at build time so
+    /// class-matching broadcasts never touch the (dynamically dispatched)
+    /// propagation model on the hot path.
+    reach: f64,
     offsets: Vec<u32>,
     rows: Vec<DecodeRow>,
 }
@@ -309,10 +313,10 @@ struct DecodeTable {
 /// use peas_des::rng::SimRng;
 /// use peas_des::time::SimTime;
 /// use peas_geom::{Field, Point};
-/// use peas_radio::{Channel, Medium, NodeId};
+/// use peas_radio::{Disc, Medium, NodeId};
 ///
 /// let positions = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
-/// let mut medium = Medium::new(Field::new(10.0, 10.0), &positions, Channel::Disc, 20_000, 0.0);
+/// let mut medium = Medium::new(Field::new(10.0, 10.0), &positions, Disc, 20_000, 0.0);
 /// let mut rng = SimRng::new(1);
 ///
 /// let tx = medium.start_broadcast(SimTime::ZERO, NodeId(0), 3.0, 25, &mut rng);
@@ -324,7 +328,7 @@ pub struct Medium {
     positions: Vec<Point>,
     grid: SpatialGrid,
     grid_cell: f64,
-    channel: Channel,
+    model: Box<dyn PropagationModel>,
     bitrate_bps: u64,
     loss_rate: f64,
     /// Precomputed decode rows, one table per declared range class.
@@ -366,14 +370,14 @@ impl Medium {
     ///
     /// Panics if `loss_rate` is outside `[0, 1]`, `bitrate_bps` is zero, or
     /// any position lies outside `field`.
-    pub fn new(
+    pub fn new<M: PropagationModel + 'static>(
         field: Field,
         positions: &[Point],
-        channel: Channel,
+        model: M,
         bitrate_bps: u64,
         loss_rate: f64,
     ) -> Medium {
-        Medium::with_range_classes(field, positions, channel, bitrate_bps, loss_rate, &[])
+        Medium::with_range_classes(field, positions, model, bitrate_bps, loss_rate, &[])
     }
 
     /// Creates a medium that precomputes the decodable receiver set of every
@@ -385,9 +389,9 @@ impl Medium {
     /// [`Medium::start_broadcast`].
     ///
     /// The bucket grid's cell size is derived from the classes (the largest
-    /// [`Channel::max_reach`] over them) rather than hardcoded, so fallback
-    /// queries at unclassified ranges stay correct and cheap whatever the
-    /// configuration. With an empty class list this is exactly
+    /// [`PropagationModel::max_reach`] over them) rather than hardcoded, so
+    /// fallback queries at unclassified ranges stay correct and cheap
+    /// whatever the configuration. With an empty class list this is exactly
     /// [`Medium::new`].
     ///
     /// # Panics
@@ -395,10 +399,10 @@ impl Medium {
     /// Panics if `loss_rate` is outside `[0, 1]`, `bitrate_bps` is zero, any
     /// position lies outside `field`, or any class is not strictly positive
     /// and finite.
-    pub fn with_range_classes(
+    pub fn with_range_classes<M: PropagationModel + 'static>(
         field: Field,
         positions: &[Point],
-        channel: Channel,
+        model: M,
         bitrate_bps: u64,
         loss_rate: f64,
         classes: &[f64],
@@ -408,7 +412,7 @@ impl Medium {
             "loss rate {loss_rate} not in [0,1]"
         );
         assert!(bitrate_bps > 0, "bitrate must be positive");
-        let grid_cell = derived_grid_cell(&channel, classes);
+        let grid_cell = derived_grid_cell(&model, classes);
         let mut grid = SpatialGrid::new(field, grid_cell);
         for (i, &p) in positions.iter().enumerate() {
             assert!(field.contains(p), "node {i} at {p:?} outside the field");
@@ -416,22 +420,23 @@ impl Medium {
         }
 
         // Physical adjacency at each class's maximum reach, rows in grid
-        // candidate order; then narrow each edge once through the channel
-        // model to the decodable set, exactly as the query path would per
-        // broadcast.
-        let reaches: Vec<f64> = classes.iter().map(|&r| channel.max_reach(r)).collect();
+        // candidate order; then narrow each edge once through the
+        // propagation model to the decodable set, exactly as the query path
+        // would per broadcast.
+        let reaches: Vec<f64> = classes.iter().map(|&r| model.max_reach(r)).collect();
         let adjacency = NeighborTables::build(&grid, positions, &reaches);
-        // Narrow each physical edge through the channel model to the
+        // Narrow each physical edge through the propagation model to the
         // decodable set, exactly as the query path would per broadcast.
         // Large topologies narrow on the same bounded chunk pool the
         // adjacency build uses; `effective_distance` is a pure per-link
-        // function, so chunk-order splicing is byte-identical to a serial
-        // pass.
+        // function (the trait's documented contract), so chunk-order
+        // splicing is byte-identical to a serial pass.
         let workers = peas_geom::par::build_workers(positions.len());
         let tables = classes
             .iter()
             .enumerate()
             .map(|(class, &range)| {
+                let model = &model;
                 let chunks = peas_geom::par::chunked_build(positions.len(), workers, |span| {
                     let mut rows = Vec::new();
                     let mut row_ends = Vec::with_capacity(span.len());
@@ -439,8 +444,13 @@ impl Medium {
                         let ids = adjacency.neighbors(class, i);
                         let dists = adjacency.distances(class, i);
                         for (&j, &dist) in ids.iter().zip(dists) {
-                            let eff =
-                                channel.effective_distance(NodeId::from_index(i), NodeId(j), dist);
+                            let eff = model.effective_distance(Link {
+                                tx: NodeId::from_index(i),
+                                rx: NodeId(j),
+                                tx_pos: positions[i],
+                                rx_pos: positions[j as usize],
+                                distance: dist,
+                            });
                             if eff <= range {
                                 rows.push(DecodeRow { rx: j, dist, eff });
                             }
@@ -455,6 +465,7 @@ impl Medium {
                     .expect("more than u32::MAX decode rows in one class");
                 let mut t = DecodeTable {
                     range,
+                    reach: model.max_reach(range),
                     offsets: Vec::with_capacity(positions.len() + 1),
                     rows: Vec::with_capacity(total),
                 };
@@ -474,7 +485,7 @@ impl Medium {
             positions: positions.to_vec(),
             grid,
             grid_cell,
-            channel,
+            model: Box::new(model),
             bitrate_bps,
             loss_rate,
             tables,
@@ -544,8 +555,8 @@ impl Medium {
     }
 
     /// The propagation model in use.
-    pub fn channel(&self) -> &Channel {
-        &self.channel
+    pub fn model(&self) -> &dyn PropagationModel {
+        &*self.model
     }
 
     /// Whether `node` would sense the channel busy at `now` (some ongoing
@@ -607,7 +618,15 @@ impl Medium {
         let id = TxId::pack(slot, self.slots[slot as usize].generation);
 
         let sender_pos = self.positions[sender.index()];
-        let reach = self.channel.max_reach(intended_range);
+        // Classified ranges reuse the reach cached at table build, so the
+        // per-broadcast fast path never dispatches into the propagation
+        // model; only unclassified fallback ranges pay the virtual call.
+        let class = self.tables.iter().position(|t| t.range == intended_range);
+        let reach = match class {
+            Some(c) => self.tables[c].reach,
+            None => self.model.max_reach(intended_range),
+        };
+        let class = class.filter(|_| self.fast_path);
         // Sender occupies its own radio (half-duplex): its entry corrupts
         // any frame arriving during this transmission.
         self.note_arrival(slot, SENDER_ENTRY, sender);
@@ -616,11 +635,6 @@ impl Medium {
         // `self.arrivals` while it is detached (each receiver is registered
         // at most once per transmission, and only after its entry exists).
         let mut receivers = std::mem::take(&mut self.slots[slot as usize].receivers);
-        let class = self
-            .tables
-            .iter()
-            .position(|t| t.range == intended_range)
-            .filter(|_| self.fast_path);
         if let Some(class) = class {
             // Fast path: replay the precomputed decode row. Same receivers,
             // same order, same loss draws as the query path below.
@@ -640,7 +654,13 @@ impl Medium {
                 }
                 let rx = NodeId::from_index(idx);
                 let dist = sender_pos.distance(pos);
-                let eff = self.channel.effective_distance(sender, rx, dist);
+                let eff = self.model.effective_distance(Link {
+                    tx: sender,
+                    rx,
+                    tx_pos: sender_pos,
+                    rx_pos: pos,
+                    distance: dist,
+                });
                 if eff > intended_range {
                     continue; // too weak to decode at this power level
                 }
@@ -839,17 +859,12 @@ impl std::fmt::Debug for Medium {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::propagation::{Disc, LogNormalShadowing, PropagationSpec};
 
     fn line_medium(loss: f64) -> Medium {
         // Nodes at x = 0, 2, 4, ..., 18 on a line.
         let positions: Vec<Point> = (0..10).map(|i| Point::new(2.0 * i as f64, 0.0)).collect();
-        Medium::new(
-            Field::new(20.0, 5.0),
-            &positions,
-            Channel::Disc,
-            20_000,
-            loss,
-        )
+        Medium::new(Field::new(20.0, 5.0), &positions, Disc, 20_000, loss)
     }
 
     fn t(ms: u64) -> SimTime {
@@ -934,7 +949,7 @@ mod tests {
     #[test]
     fn random_loss_drops_roughly_the_configured_fraction() {
         let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
-        let mut m = Medium::new(Field::new(5.0, 5.0), &positions, Channel::Disc, 20_000, 0.3);
+        let mut m = Medium::new(Field::new(5.0, 5.0), &positions, Disc, 20_000, 0.3);
         let mut rng = SimRng::new(5);
         let mut lost = 0;
         let n = 2000;
@@ -1084,12 +1099,18 @@ mod tests {
             .collect();
         let field = Field::new(20.0, 20.0);
         let classes = [3.0, 10.0];
-        for channel in [Channel::Disc, Channel::shadowed(42)] {
+        for spec in [
+            PropagationSpec::Disc,
+            PropagationSpec::shadowed(42),
+            PropagationSpec::Terrain(crate::propagation::TerrainSpec::generated(5, 5, 5.0, 7)),
+        ] {
             for loss in [0.0, 0.3] {
+                // `spec.build()` returns a boxed model; the generic
+                // constructor accepts it through the Box delegation impl.
                 let mut fast = Medium::with_range_classes(
                     field,
                     &positions,
-                    channel.clone(),
+                    spec.build(),
                     20_000,
                     loss,
                     &classes,
@@ -1097,7 +1118,7 @@ mod tests {
                 let mut slow = Medium::with_range_classes(
                     field,
                     &positions,
-                    channel.clone(),
+                    spec.build(),
                     20_000,
                     loss,
                     &classes,
@@ -1105,7 +1126,7 @@ mod tests {
                 slow.set_fast_path(false);
                 let a = drive_schedule(&mut fast, &classes, 77);
                 let b = drive_schedule(&mut slow, &classes, 77);
-                assert_eq!(a, b, "channel {channel:?} loss {loss}");
+                assert_eq!(a, b, "model {spec:?} loss {loss}");
                 assert!(!a.is_empty());
                 assert_eq!(fast.stats(), slow.stats());
             }
@@ -1118,7 +1139,7 @@ mod tests {
         let mut m = Medium::with_range_classes(
             Field::new(20.0, 5.0),
             &positions,
-            Channel::Disc,
+            Disc,
             20_000,
             0.0,
             &[3.0],
@@ -1135,23 +1156,25 @@ mod tests {
     fn grid_cell_derives_from_largest_class_reach() {
         let positions = vec![Point::new(1.0, 1.0)];
         let field = Field::new(60.0, 60.0);
-        let m =
-            Medium::with_range_classes(field, &positions, Channel::Disc, 20_000, 0.0, &[3.0, 10.0]);
+        let m = Medium::with_range_classes(field, &positions, Disc, 20_000, 0.0, &[3.0, 10.0]);
         assert_eq!(m.grid_cell(), 10.0);
         assert_eq!(m.range_class_count(), 2);
         // Shadowing widens the physical reach past the intended range.
         let shadowed = Medium::with_range_classes(
             field,
             &positions,
-            Channel::shadowed(1),
+            LogNormalShadowing::with_defaults(1),
             20_000,
             0.0,
             &[10.0],
         );
-        assert_eq!(shadowed.grid_cell(), Channel::shadowed(1).max_reach(10.0));
+        assert_eq!(
+            shadowed.grid_cell(),
+            LogNormalShadowing::with_defaults(1).max_reach(10.0)
+        );
         assert!(shadowed.grid_cell() > 10.0);
         // Class-less construction keeps the documented default.
-        let plain = Medium::new(field, &positions, Channel::Disc, 20_000, 0.0);
+        let plain = Medium::new(field, &positions, Disc, 20_000, 0.0);
         assert_eq!(plain.grid_cell(), DEFAULT_GRID_CELL);
         assert_eq!(plain.range_class_count(), 0);
     }
@@ -1162,7 +1185,7 @@ mod tests {
         let mut m = Medium::new(
             Field::new(40.0, 5.0),
             &positions,
-            Channel::shadowed(3),
+            LogNormalShadowing::with_defaults(3),
             20_000,
             0.0,
         );

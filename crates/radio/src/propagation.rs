@@ -1,0 +1,750 @@
+//! Pluggable propagation models.
+//!
+//! PEAS's design mostly assumes the unit-disc abstraction: "each sensor node
+//! may vary its transmission power and choose a power level to cover a
+//! circular area given a radius" (Section 2). Section 4 then discusses
+//! "irregularities in signal attenuation" under fixed transmission power. We
+//! model every such irregularity as a per-link loss term that stretches or
+//! shrinks each link's *apparent* distance, expressed through the open
+//! [`PropagationModel`] trait:
+//!
+//! * [`Disc`] — the paper's ideal circle (identity loss);
+//! * [`LogNormalShadowing`] — i.i.d. per-link log-normal fading;
+//! * [`Terrain`] — deterministic knife-edge diffraction loss over a
+//!   height-map raster (geography-dependent links).
+//!
+//! The trait lives on the *build path only*: `Medium` evaluates
+//! [`PropagationModel::effective_distance`] once per edge while
+//! precomputing its CSR decode tables (and on the rare unclassified-range
+//! fallback query), so per-frame delivery stays a flat table replay with no
+//! virtual dispatch. [`PropagationModel::max_reach`] bounds the spatial
+//! grid's cell size so candidate enumeration stays a 3×3 bucket scan under
+//! any model.
+//!
+//! Two contracts every implementation must uphold:
+//!
+//! * **Purity.** `effective_distance` is a pure function of the link —
+//!   same link, same answer, forever. Models that want randomness (like
+//!   shadowing) must derive it from the link's node ids, not from shared
+//!   mutable state; the medium evaluates links in spatial-grid candidate
+//!   order and splices chunk-parallel builds, both of which assume
+//!   order-independence.
+//! * **Symmetry.** `effective_distance` must not depend on which endpoint
+//!   transmits: probe/reply exchanges assume links fade identically in
+//!   both directions.
+//!
+//! [`PropagationSpec`] is the cloneable, comparable *recipe* form that
+//! lives in `ScenarioConfig` and the `.peas` DSL; [`PropagationSpec::build`]
+//! turns it into a boxed model for the medium.
+
+use peas_des::rng::SimRng;
+use peas_geom::{ElevationRaster, Point};
+
+use crate::packet::NodeId;
+
+/// Default path-loss exponent `n` (3 = moderately cluttered; 2 would be
+/// free space, 4 dense clutter). Flows into the `[radio]` and `[terrain]`
+/// scenario defaults.
+pub const DEFAULT_PATH_LOSS_EXP: f64 = 3.0;
+
+/// Default shadowing standard deviation, dB. Flows into the `[radio]`
+/// scenario default.
+pub const DEFAULT_SIGMA_DB: f64 = 4.0;
+
+/// Default diffraction coefficient: the knife-edge loss is applied at
+/// full ITU-R P.526 strength.
+pub const DEFAULT_DIFFRACTION: f64 = 1.0;
+
+/// Default antenna height above local ground, meters (sensor motes sit
+/// near the ground).
+pub const DEFAULT_ANTENNA_HEIGHT: f64 = 1.0;
+
+/// Default carrier wavelength, meters (0.125 m ≈ 2.4 GHz).
+pub const DEFAULT_WAVELENGTH: f64 = 0.125;
+
+/// One candidate link, as seen at table-build (or fallback-query) time.
+///
+/// Carries everything any loss model might need: endpoint identities (for
+/// per-link random streams), endpoint positions (for geography-dependent
+/// loss) and the precomputed true distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Transmitting endpoint.
+    pub tx: NodeId,
+    /// Receiving endpoint.
+    pub rx: NodeId,
+    /// Transmitter position.
+    pub tx_pos: Point,
+    /// Receiver position.
+    pub rx_pos: Point,
+    /// True Euclidean distance between the endpoints, meters.
+    pub distance: f64,
+}
+
+/// A wireless propagation model: a per-link, build-time loss term.
+///
+/// See the module documentation for the purity and symmetry contracts.
+pub trait PropagationModel: std::fmt::Debug + Send + Sync {
+    /// The distance `link` *appears* to have: the true distance inflated
+    /// (or deflated) by this model's loss term. A transmission with
+    /// intended range `r` is decodable exactly when the effective
+    /// distance is `<= r`.
+    fn effective_distance(&self, link: Link) -> f64;
+
+    /// Upper bound on the true distance at which a transmission with
+    /// `intended_range` can still be heard. Used to size spatial-grid
+    /// cells and bound candidate queries; must satisfy
+    /// `effective_distance(l) <= intended_range ⟹ l.distance <= max_reach`
+    /// for every possible link (up to a negligible tail for unbounded
+    /// fading models, which must document their cap).
+    fn max_reach(&self, intended_range: f64) -> f64;
+}
+
+/// Boxed models propagate through the same generic constructors as
+/// concrete ones (e.g. the output of [`PropagationSpec::build`]).
+impl PropagationModel for Box<dyn PropagationModel> {
+    fn effective_distance(&self, link: Link) -> f64 {
+        (**self).effective_distance(link)
+    }
+
+    fn max_reach(&self, intended_range: f64) -> f64 {
+        (**self).max_reach(intended_range)
+    }
+}
+
+/// Ideal unit-disc propagation: a transmission with intended range `r`
+/// reaches exactly the nodes within `r` meters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Disc;
+
+impl PropagationModel for Disc {
+    fn effective_distance(&self, link: Link) -> f64 {
+        link.distance
+    }
+
+    fn max_reach(&self, intended_range: f64) -> f64 {
+        intended_range
+    }
+}
+
+/// Log-normal shadowing: each unordered link has a static fading value
+/// `X ~ N(0, sigma_db)`, making the link appear to have length
+/// `d · 10^(X / (10·path_loss_exp))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormalShadowing {
+    /// Path-loss exponent `n` (2 = free space, 3–4 = cluttered).
+    pub path_loss_exp: f64,
+    /// Standard deviation of the shadowing term, in dB.
+    pub sigma_db: f64,
+    /// Seed for the per-link fading values (deterministic per link).
+    pub seed: u64,
+}
+
+impl LogNormalShadowing {
+    /// A shadowed channel with explicit parameters.
+    pub fn new(path_loss_exp: f64, sigma_db: f64, seed: u64) -> LogNormalShadowing {
+        LogNormalShadowing {
+            path_loss_exp,
+            sigma_db,
+            seed,
+        }
+    }
+
+    /// A moderately harsh shadowed channel at the documented defaults
+    /// ([`DEFAULT_PATH_LOSS_EXP`], [`DEFAULT_SIGMA_DB`]).
+    pub fn with_defaults(seed: u64) -> LogNormalShadowing {
+        LogNormalShadowing::new(DEFAULT_PATH_LOSS_EXP, DEFAULT_SIGMA_DB, seed)
+    }
+}
+
+impl PropagationModel for LogNormalShadowing {
+    fn effective_distance(&self, link: Link) -> f64 {
+        let (a, b) = (link.tx, link.rx);
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        // One decoupled stream per unordered link.
+        let link_key = ((lo as u64) << 32) | hi as u64;
+        let mut rng = SimRng::stream(
+            self.seed,
+            link_key.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+        );
+        let x_db = rng.normal(0.0, self.sigma_db);
+        link.distance * 10f64.powf(x_db / (10.0 * self.path_loss_exp))
+    }
+
+    /// Caps shadowing at +4σ: the chance of a deeper fade is ~3·10⁻⁵ per
+    /// link, which the differential tests accept as negligible.
+    fn max_reach(&self, intended_range: f64) -> f64 {
+        intended_range * 10f64.powf(4.0 * self.sigma_db / (10.0 * self.path_loss_exp))
+    }
+}
+
+/// Terrain-aware propagation: deterministic knife-edge diffraction loss
+/// over an elevation raster, Longley-Rice-flavored but deliberately
+/// simple.
+///
+/// For each link the model walks the tx→rx ground profile in half-cell
+/// steps, bilinearly sampling the raster, and finds the dominant
+/// obstruction — the sample with the largest Fresnel-Cirier parameter
+/// `ν = h · √(2d / (λ·d₁·d₂))`, where `h` is the obstruction's height
+/// above the straight antenna-to-antenna sight line and `d₁`/`d₂` its
+/// distances to the terminals. The obstruction's excess loss follows the
+/// ITU-R P.526 single-knife-edge approximation
+/// `J(ν) = 6.9 + 20·log₁₀(√((ν−0.1)² + 1) + ν − 0.1)` dB for `ν > −0.78`
+/// (0 dB below — effectively clear line of sight), scaled by the
+/// configured `diffraction` coefficient and clamped at ≥ 0 dB.
+///
+/// The loss maps to an apparent-distance stretch exactly like shadowing:
+/// `eff = d · 10^(L / (10·n))`. Because the loss is never negative, a
+/// terrain link never appears *shorter* than its true length, so
+/// [`PropagationModel::max_reach`] is the intended range itself — terrain
+/// never widens the candidate search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Terrain {
+    raster: ElevationRaster,
+    /// Path-loss exponent used to map dB loss to apparent distance.
+    path_loss_exp: f64,
+    /// Scale on the knife-edge loss (1.0 = full ITU strength).
+    diffraction: f64,
+    /// Antenna height above local ground, meters.
+    antenna_height: f64,
+    /// Carrier wavelength, meters.
+    wavelength: f64,
+}
+
+impl Terrain {
+    /// A terrain model over `raster` at the documented defaults.
+    pub fn new(raster: ElevationRaster) -> Terrain {
+        Terrain::with_params(
+            raster,
+            DEFAULT_PATH_LOSS_EXP,
+            DEFAULT_DIFFRACTION,
+            DEFAULT_ANTENNA_HEIGHT,
+            DEFAULT_WAVELENGTH,
+        )
+    }
+
+    /// A terrain model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-finite or non-positive (the
+    /// diffraction coefficient may be 0, disabling the loss term).
+    pub fn with_params(
+        raster: ElevationRaster,
+        path_loss_exp: f64,
+        diffraction: f64,
+        antenna_height: f64,
+        wavelength: f64,
+    ) -> Terrain {
+        assert!(
+            path_loss_exp.is_finite() && path_loss_exp > 0.0,
+            "path_loss_exp must be positive, got {path_loss_exp}"
+        );
+        assert!(
+            diffraction.is_finite() && diffraction >= 0.0,
+            "diffraction must be non-negative, got {diffraction}"
+        );
+        assert!(
+            antenna_height.is_finite() && antenna_height >= 0.0,
+            "antenna_height must be non-negative, got {antenna_height}"
+        );
+        assert!(
+            wavelength.is_finite() && wavelength > 0.0,
+            "wavelength must be positive, got {wavelength}"
+        );
+        Terrain {
+            raster,
+            path_loss_exp,
+            diffraction,
+            antenna_height,
+            wavelength,
+        }
+    }
+
+    /// The underlying height map.
+    pub fn raster(&self) -> &ElevationRaster {
+        &self.raster
+    }
+
+    /// Knife-edge excess loss for this link, dB (always ≥ 0).
+    pub fn diffraction_loss_db(&self, tx_pos: Point, rx_pos: Point, distance: f64) -> f64 {
+        if self.diffraction == 0.0 {
+            return 0.0;
+        }
+        // Walk the profile in a canonical direction: the sample set is the
+        // same either way, but floating-point rounding in the interpolation
+        // is not, and the trait contract promises bit-exact symmetry.
+        let (tx_pos, rx_pos) = if (rx_pos.x, rx_pos.y) < (tx_pos.x, tx_pos.y) {
+            (rx_pos, tx_pos)
+        } else {
+            (tx_pos, rx_pos)
+        };
+        let step = self.raster.cell_size() * 0.5;
+        if !(distance.is_finite() && distance > step) {
+            // Endpoints within one sample of each other: no interior
+            // profile to obstruct.
+            return 0.0;
+        }
+        let tx_h = self.raster.elevation_at(tx_pos) + self.antenna_height;
+        let rx_h = self.raster.elevation_at(rx_pos) + self.antenna_height;
+        // Dominant obstruction: the interior profile sample with the
+        // largest Fresnel parameter ν.
+        let mut nu_max = f64::NEG_INFINITY;
+        let samples = (distance / step).ceil() as usize;
+        for i in 1..samples {
+            let t = i as f64 / samples as f64;
+            let p = Point::new(
+                tx_pos.x + (rx_pos.x - tx_pos.x) * t,
+                tx_pos.y + (rx_pos.y - tx_pos.y) * t,
+            );
+            let d1 = distance * t;
+            let d2 = distance - d1;
+            // Height of the terrain above the straight sight line.
+            let los = tx_h + (rx_h - tx_h) * t;
+            let h = self.raster.elevation_at(p) - los;
+            let nu = h * (2.0 * distance / (self.wavelength * d1 * d2)).sqrt();
+            nu_max = nu_max.max(nu);
+        }
+        // ITU-R P.526 approximation; below ν ≈ −0.78 the obstruction is
+        // clear of the first Fresnel zone and the excess loss vanishes.
+        if nu_max <= -0.78 {
+            return 0.0;
+        }
+        let j = 6.9 + 20.0 * ((nu_max - 0.1).hypot(1.0) + nu_max - 0.1).log10();
+        (self.diffraction * j).max(0.0)
+    }
+}
+
+impl PropagationModel for Terrain {
+    fn effective_distance(&self, link: Link) -> f64 {
+        let loss_db = self.diffraction_loss_db(link.tx_pos, link.rx_pos, link.distance);
+        link.distance * 10f64.powf(loss_db / (10.0 * self.path_loss_exp))
+    }
+
+    /// Terrain loss is never negative, so a link never appears shorter
+    /// than it is: the intended range already bounds the true distance.
+    fn max_reach(&self, intended_range: f64) -> f64 {
+        intended_range
+    }
+}
+
+/// How a [`TerrainSpec`] obtains its elevation samples.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HeightMap {
+    /// Row-major samples shipped inline (must have `cols × rows` values).
+    Inline(Vec<f64>),
+    /// Synthetic rolling terrain from [`ElevationRaster::generate`].
+    Generated {
+        /// Seed of the terrain generator's RNG stream.
+        seed: u64,
+        /// Peak mound height, meters.
+        amplitude: f64,
+        /// Number of Gaussian mounds.
+        hills: usize,
+    },
+}
+
+/// The recipe for a [`Terrain`] model: everything needed to rebuild the
+/// raster deterministically, in a cloneable/comparable form for
+/// `ScenarioConfig`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TerrainSpec {
+    /// Raster sample columns.
+    pub cols: usize,
+    /// Raster sample rows.
+    pub rows: usize,
+    /// Raster lattice spacing, meters.
+    pub cell_size: f64,
+    /// Elevation samples, inline or generated.
+    pub heights: HeightMap,
+    /// Path-loss exponent mapping dB loss to apparent distance.
+    pub path_loss_exp: f64,
+    /// Scale on the knife-edge diffraction loss.
+    pub diffraction: f64,
+    /// Antenna height above local ground, meters.
+    pub antenna_height: f64,
+    /// Carrier wavelength, meters.
+    pub wavelength: f64,
+}
+
+impl TerrainSpec {
+    /// A generated-terrain spec at the documented parameter defaults.
+    pub fn generated(cols: usize, rows: usize, cell_size: f64, seed: u64) -> TerrainSpec {
+        TerrainSpec {
+            cols,
+            rows,
+            cell_size,
+            heights: HeightMap::Generated {
+                seed,
+                amplitude: 8.0,
+                hills: 8,
+            },
+            path_loss_exp: DEFAULT_PATH_LOSS_EXP,
+            diffraction: DEFAULT_DIFFRACTION,
+            antenna_height: DEFAULT_ANTENNA_HEIGHT,
+            wavelength: DEFAULT_WAVELENGTH,
+        }
+    }
+
+    /// Materializes the elevation raster.
+    ///
+    /// # Errors
+    ///
+    /// Returns the raster constructor's message for malformed dimensions,
+    /// cell size or inline data.
+    pub fn raster(&self) -> Result<ElevationRaster, String> {
+        match &self.heights {
+            HeightMap::Inline(data) => {
+                ElevationRaster::new(self.cols, self.rows, self.cell_size, data.clone())
+            }
+            HeightMap::Generated {
+                seed,
+                amplitude,
+                hills,
+            } => {
+                if self.cols < 2 || self.rows < 2 {
+                    return Err(format!(
+                        "raster needs at least 2x2 samples, got {}x{}",
+                        self.cols, self.rows
+                    ));
+                }
+                if !(self.cell_size.is_finite() && self.cell_size > 0.0) {
+                    return Err(format!(
+                        "cell_size must be positive, got {}",
+                        self.cell_size
+                    ));
+                }
+                if !(amplitude.is_finite() && *amplitude >= 0.0) {
+                    return Err(format!(
+                        "amplitude must be finite and non-negative, got {amplitude}"
+                    ));
+                }
+                Ok(ElevationRaster::generate(
+                    self.cols,
+                    self.rows,
+                    self.cell_size,
+                    *seed,
+                    *amplitude,
+                    *hills,
+                ))
+            }
+        }
+    }
+
+    /// Validates the spec without building the raster's sample payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.path_loss_exp.is_finite() && self.path_loss_exp > 0.0) {
+            return Err("terrain path_loss_exp must be positive".into());
+        }
+        if !(self.diffraction.is_finite() && self.diffraction >= 0.0) {
+            return Err("terrain diffraction must be non-negative".into());
+        }
+        if !(self.antenna_height.is_finite() && self.antenna_height >= 0.0) {
+            return Err("terrain antenna_height must be non-negative".into());
+        }
+        if !(self.wavelength.is_finite() && self.wavelength > 0.0) {
+            return Err("terrain wavelength must be positive".into());
+        }
+        self.raster().map(|_| ())
+    }
+}
+
+/// The cloneable, comparable recipe for a propagation model: what
+/// `ScenarioConfig` stores and the `.peas` `[radio] model` key selects.
+/// [`PropagationSpec::build`] produces the boxed trait object the medium
+/// consumes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum PropagationSpec {
+    /// Ideal unit-disc propagation ([`Disc`]).
+    #[default]
+    Disc,
+    /// Log-normal shadowing ([`LogNormalShadowing`]).
+    Shadowed {
+        /// Path-loss exponent `n`.
+        path_loss_exp: f64,
+        /// Shadowing standard deviation, dB.
+        sigma_db: f64,
+        /// Seed for the per-link fading values.
+        seed: u64,
+    },
+    /// Terrain knife-edge diffraction over a height map ([`Terrain`]).
+    Terrain(TerrainSpec),
+}
+
+impl PropagationSpec {
+    /// A shadowed channel at the documented defaults
+    /// ([`DEFAULT_PATH_LOSS_EXP`], [`DEFAULT_SIGMA_DB`]).
+    pub fn shadowed(seed: u64) -> PropagationSpec {
+        PropagationSpec::Shadowed {
+            path_loss_exp: DEFAULT_PATH_LOSS_EXP,
+            sigma_db: DEFAULT_SIGMA_DB,
+            seed,
+        }
+    }
+
+    /// Validates the recipe (notably the terrain raster).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            PropagationSpec::Disc => Ok(()),
+            PropagationSpec::Shadowed {
+                path_loss_exp,
+                sigma_db,
+                ..
+            } => {
+                if !(path_loss_exp.is_finite() && *path_loss_exp > 0.0) {
+                    return Err("path_loss_exp must be positive".into());
+                }
+                if !(sigma_db.is_finite() && *sigma_db >= 0.0) {
+                    return Err("sigma_db must be non-negative".into());
+                }
+                Ok(())
+            }
+            PropagationSpec::Terrain(spec) => spec.validate(),
+        }
+    }
+
+    /// Builds the model this recipe describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (callers validate configs before
+    /// building worlds; see [`PropagationSpec::validate`]).
+    pub fn build(&self) -> Box<dyn PropagationModel> {
+        match self {
+            PropagationSpec::Disc => Box::new(Disc),
+            PropagationSpec::Shadowed {
+                path_loss_exp,
+                sigma_db,
+                seed,
+            } => Box::new(LogNormalShadowing::new(*path_loss_exp, *sigma_db, *seed)),
+            PropagationSpec::Terrain(spec) => {
+                let raster = spec
+                    .raster()
+                    // peas-lint: allow(r1-unchecked-panic) -- configs are validated before worlds are built; see the panic docs
+                    .unwrap_or_else(|e| panic!("invalid terrain spec: {e}"));
+                Box::new(Terrain::with_params(
+                    raster,
+                    spec.path_loss_exp,
+                    spec.diffraction,
+                    spec.antenna_height,
+                    spec.wavelength,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(a: u32, b: u32, dist: f64) -> Link {
+        Link {
+            tx: NodeId(a),
+            rx: NodeId(b),
+            tx_pos: Point::new(0.0, 0.0),
+            rx_pos: Point::new(dist, 0.0),
+            distance: dist,
+        }
+    }
+
+    #[test]
+    fn disc_is_identity() {
+        assert_eq!(Disc.effective_distance(link(1, 2, 7.5)), 7.5);
+        assert_eq!(Disc.max_reach(3.0), 3.0);
+    }
+
+    #[test]
+    fn shadowing_is_symmetric_and_stable() {
+        let c = LogNormalShadowing::with_defaults(99);
+        let d1 = c.effective_distance(link(3, 8, 5.0));
+        let d2 = c.effective_distance(link(8, 3, 5.0));
+        let d3 = c.effective_distance(link(3, 8, 5.0));
+        assert_eq!(d1, d2);
+        assert_eq!(d1, d3);
+    }
+
+    #[test]
+    fn different_links_fade_differently() {
+        let c = LogNormalShadowing::with_defaults(99);
+        let d1 = c.effective_distance(link(0, 1, 5.0));
+        let d2 = c.effective_distance(link(0, 2, 5.0));
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn shadowing_is_zero_mean_in_log_domain() {
+        let c = LogNormalShadowing::with_defaults(7);
+        let n = 20_000u32;
+        let mean_log: f64 = (0..n)
+            .map(|i| c.effective_distance(link(i, i + 100_000, 10.0)).ln())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean_log - 10.0f64.ln()).abs() < 0.02,
+            "mean log-distance {mean_log}"
+        );
+    }
+
+    #[test]
+    fn max_reach_bounds_effective_range() {
+        let c = LogNormalShadowing::with_defaults(11);
+        let reach = c.max_reach(10.0);
+        assert!(reach > 10.0);
+        // Any link that appears within 10 m must have true length < reach
+        // (equivalently: links longer than reach never get in). Sample a few.
+        for i in 0..2000u32 {
+            let true_dist = reach * 1.001;
+            let eff = c.effective_distance(link(i, i + 1, true_dist));
+            // The chance of a > +4σ fade is ~3e-5; none expected here.
+            assert!(eff > 10.0, "link {i} faded beyond 4 sigma");
+        }
+    }
+
+    #[test]
+    fn scales_linearly_with_distance() {
+        let c = LogNormalShadowing::with_defaults(3);
+        let e1 = c.effective_distance(link(1, 2, 1.0));
+        let e5 = c.effective_distance(link(1, 2, 5.0));
+        assert!((e5 / e1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defaults_flow_from_the_named_constants() {
+        let c = LogNormalShadowing::with_defaults(4);
+        assert_eq!(c.path_loss_exp, DEFAULT_PATH_LOSS_EXP);
+        assert_eq!(c.sigma_db, DEFAULT_SIGMA_DB);
+        let spec = PropagationSpec::shadowed(4);
+        assert_eq!(
+            spec,
+            PropagationSpec::Shadowed {
+                path_loss_exp: DEFAULT_PATH_LOSS_EXP,
+                sigma_db: DEFAULT_SIGMA_DB,
+                seed: 4
+            }
+        );
+    }
+
+    fn flat_terrain() -> Terrain {
+        Terrain::new(ElevationRaster::new(6, 6, 10.0, vec![0.0; 36]).expect("valid"))
+    }
+
+    /// A single 30 m wall across the middle of a 50 × 50 m flat field.
+    fn wall_terrain() -> Terrain {
+        let mut data = vec![0.0; 36];
+        for c in 0..6 {
+            data[2 * 6 + c] = 30.0; // the y = 20 m lattice row
+        }
+        Terrain::new(ElevationRaster::new(6, 6, 10.0, data).expect("valid"))
+    }
+
+    fn terrain_link(a: (f64, f64), b: (f64, f64)) -> Link {
+        let (pa, pb) = (Point::new(a.0, a.1), Point::new(b.0, b.1));
+        Link {
+            tx: NodeId(0),
+            rx: NodeId(1),
+            tx_pos: pa,
+            rx_pos: pb,
+            distance: pa.distance(pb),
+        }
+    }
+
+    #[test]
+    fn flat_terrain_with_clear_los_is_nearly_disc() {
+        let t = flat_terrain();
+        let l = terrain_link((5.0, 5.0), (25.0, 5.0));
+        // Grazing over flat ground: ν is mildly negative (the sight line
+        // sits one antenna height up), so the loss is tiny but may not be
+        // exactly zero. It must never shrink the link.
+        let eff = t.effective_distance(l);
+        assert!(eff >= l.distance);
+        assert!(eff <= l.distance * 1.5, "flat terrain lost too much: {eff}");
+        assert_eq!(t.max_reach(10.0), 10.0);
+    }
+
+    #[test]
+    fn obstruction_stretches_the_link() {
+        let wall = wall_terrain();
+        let flat = flat_terrain();
+        // Link crossing the wall at y = 20.
+        let blocked = terrain_link((25.0, 5.0), (25.0, 35.0));
+        let open = terrain_link((25.0, 25.0), (25.0, 45.0));
+        let blocked_stretch = wall.effective_distance(blocked) / blocked.distance;
+        let open_stretch = wall.effective_distance(open) / open.distance;
+        let flat_stretch = flat.effective_distance(blocked) / blocked.distance;
+        assert!(
+            blocked_stretch > flat_stretch + 0.2,
+            "wall had no effect: blocked {blocked_stretch}, flat {flat_stretch}"
+        );
+        assert!(
+            blocked_stretch > open_stretch,
+            "same-length open link lost as much as the blocked one"
+        );
+        // Deterministic: same link, same answer.
+        assert_eq!(
+            wall.effective_distance(blocked),
+            wall.effective_distance(blocked)
+        );
+    }
+
+    #[test]
+    fn terrain_loss_is_symmetric() {
+        let t = wall_terrain();
+        let ab = terrain_link((25.0, 5.0), (25.0, 35.0));
+        let ba = terrain_link((25.0, 35.0), (25.0, 5.0));
+        assert_eq!(t.effective_distance(ab), t.effective_distance(ba));
+    }
+
+    #[test]
+    fn zero_diffraction_disables_the_loss_term() {
+        let raster = wall_terrain().raster().clone();
+        let t = Terrain::with_params(raster, 3.0, 0.0, 1.0, 0.125);
+        let l = terrain_link((25.0, 5.0), (25.0, 35.0));
+        assert_eq!(t.effective_distance(l), l.distance);
+    }
+
+    #[test]
+    fn spec_round_trips_through_build() {
+        let spec = PropagationSpec::Terrain(TerrainSpec::generated(6, 6, 10.0, 9));
+        assert!(spec.validate().is_ok());
+        let model = spec.build();
+        let l = terrain_link((5.0, 5.0), (35.0, 35.0));
+        // Two independent builds answer identically (pure recipe).
+        assert_eq!(
+            model.effective_distance(l),
+            spec.build().effective_distance(l)
+        );
+    }
+
+    #[test]
+    fn invalid_terrain_specs_are_rejected() {
+        let mut spec = TerrainSpec::generated(6, 6, 10.0, 1);
+        spec.cell_size = 0.0;
+        assert!(spec.validate().unwrap_err().contains("cell_size"));
+        let mut spec = TerrainSpec::generated(6, 6, 10.0, 1);
+        spec.heights = HeightMap::Inline(vec![0.0; 35]);
+        assert!(spec.validate().unwrap_err().contains("35 samples"));
+        let mut spec = TerrainSpec::generated(1, 6, 10.0, 1);
+        spec.heights = HeightMap::Inline(vec![0.0; 6]);
+        assert!(spec.validate().unwrap_err().contains("at least 2x2"));
+        let mut spec = TerrainSpec::generated(6, 6, 10.0, 1);
+        spec.wavelength = 0.0;
+        assert!(spec.validate().unwrap_err().contains("wavelength"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid terrain spec")]
+    fn building_an_invalid_spec_panics() {
+        let mut spec = TerrainSpec::generated(6, 6, 10.0, 1);
+        spec.cell_size = -1.0;
+        let _ = PropagationSpec::Terrain(spec).build();
+    }
+}

@@ -27,9 +27,9 @@ use peas_des::rng::SimRng;
 use peas_des::time::SimTime;
 use peas_geom::{Field, Point, SpatialGrid};
 
-use crate::channel::Channel;
 use crate::medium::{derived_grid_cell, Delivery, RxOutcome};
 use crate::packet::{airtime, NodeId, RxInfo};
+use crate::propagation::{Link, PropagationModel};
 
 /// Handle to one transmission started on a [`ReferenceMedium`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -49,7 +49,7 @@ struct RefTx {
 pub struct ReferenceMedium {
     positions: Vec<Point>,
     grid: SpatialGrid,
-    channel: Channel,
+    model: Box<dyn PropagationModel>,
     bitrate_bps: u64,
     loss_rate: f64,
     txs: Vec<RefTx>,
@@ -62,14 +62,14 @@ impl ReferenceMedium {
     ///
     /// Panics if `loss_rate` is outside `[0, 1]`, `bitrate_bps` is zero, or
     /// any position lies outside `field`.
-    pub fn new(
+    pub fn new<M: PropagationModel + 'static>(
         field: Field,
         positions: &[Point],
-        channel: Channel,
+        model: M,
         bitrate_bps: u64,
         loss_rate: f64,
     ) -> ReferenceMedium {
-        ReferenceMedium::with_range_classes(field, positions, channel, bitrate_bps, loss_rate, &[])
+        ReferenceMedium::with_range_classes(field, positions, model, bitrate_bps, loss_rate, &[])
     }
 
     /// Mirrors [`Medium::with_range_classes`](crate::Medium::with_range_classes):
@@ -84,10 +84,10 @@ impl ReferenceMedium {
     /// Panics if `loss_rate` is outside `[0, 1]`, `bitrate_bps` is zero, any
     /// position lies outside `field`, or any class is not strictly positive
     /// and finite.
-    pub fn with_range_classes(
+    pub fn with_range_classes<M: PropagationModel + 'static>(
         field: Field,
         positions: &[Point],
-        channel: Channel,
+        model: M,
         bitrate_bps: u64,
         loss_rate: f64,
         classes: &[f64],
@@ -97,7 +97,7 @@ impl ReferenceMedium {
             "loss rate {loss_rate} not in [0,1]"
         );
         assert!(bitrate_bps > 0, "bitrate must be positive");
-        let mut grid = SpatialGrid::new(field, derived_grid_cell(&channel, classes));
+        let mut grid = SpatialGrid::new(field, derived_grid_cell(&model, classes));
         for (i, &p) in positions.iter().enumerate() {
             assert!(field.contains(p), "node {i} at {p:?} outside the field");
             grid.insert(i, p);
@@ -105,7 +105,7 @@ impl ReferenceMedium {
         ReferenceMedium {
             positions: positions.to_vec(),
             grid,
-            channel,
+            model: Box::new(model),
             bitrate_bps,
             loss_rate,
             txs: Vec::new(),
@@ -130,7 +130,7 @@ impl ReferenceMedium {
         assert!(intended_range > 0.0, "intended range must be positive");
         let end = now + airtime(size_bytes, self.bitrate_bps);
         let sender_pos = self.positions[sender.index()];
-        let reach = self.channel.max_reach(intended_range);
+        let reach = self.model.max_reach(intended_range);
 
         let mut receivers = Vec::new();
         for (idx, pos) in self.grid.within_entries(sender_pos, reach) {
@@ -139,7 +139,13 @@ impl ReferenceMedium {
             }
             let rx = NodeId::from_index(idx);
             let dist = sender_pos.distance(pos);
-            let eff = self.channel.effective_distance(sender, rx, dist);
+            let eff = self.model.effective_distance(Link {
+                tx: sender,
+                rx,
+                tx_pos: sender_pos,
+                rx_pos: pos,
+                distance: dist,
+            });
             if eff > intended_range {
                 continue;
             }
@@ -159,10 +165,13 @@ impl ReferenceMedium {
             .filter(|&i| {
                 let dist = sender_pos.distance(self.positions[i]);
                 dist <= reach
-                    && self
-                        .channel
-                        .effective_distance(sender, NodeId::from_index(i), dist)
-                        <= intended_range
+                    && self.model.effective_distance(Link {
+                        tx: sender,
+                        rx: NodeId::from_index(i),
+                        tx_pos: sender_pos,
+                        rx_pos: self.positions[i],
+                        distance: dist,
+                    }) <= intended_range
             })
             .map(|i| NodeId::from_index(i).0)
             .collect();

@@ -1,16 +1,32 @@
 //! Property-based tests for the radio substrate: conservation laws of the
-//! medium, energy arithmetic, and channel invariants.
+//! medium, energy arithmetic, and propagation-model invariants.
 
 use proptest::prelude::*;
 
 use peas_des::rng::SimRng;
 use peas_des::time::{SimDuration, SimTime};
 use peas_geom::{Field, Point};
-use peas_radio::{airtime, Battery, Channel, EnergyCause, EnergyLedger, Medium, NodeId};
+use peas_radio::{
+    airtime, Battery, Disc, EnergyCause, EnergyLedger, Link, LogNormalShadowing, Medium, NodeId,
+    PropagationModel, PropagationSpec, TerrainSpec,
+};
 
 fn arb_positions(max: usize) -> impl Strategy<Value = Vec<Point>> {
     prop::collection::vec((0.0f64..50.0, 0.0f64..50.0), 2..max)
         .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+/// A link between two abstract nodes laid out along the x axis. Identity-
+/// keyed models (shadowing) only read the ids and distance; position-keyed
+/// models (terrain) only read the endpoints.
+fn link(a: u32, b: u32, dist: f64) -> Link {
+    Link {
+        tx: NodeId(a),
+        rx: NodeId(b),
+        tx_pos: Point::new(0.0, 0.0),
+        rx_pos: Point::new(dist, 0.0),
+        distance: dist,
+    }
 }
 
 proptest! {
@@ -26,7 +42,7 @@ proptest! {
     ) {
         let sender = sender % positions.len();
         let field = Field::new(50.0, 50.0);
-        let mut medium = Medium::new(field, &positions, Channel::Disc, 20_000, 0.0);
+        let mut medium = Medium::new(field, &positions, Disc, 20_000, 0.0);
         let mut rng = SimRng::new(seed);
         let tx = medium.start_broadcast(SimTime::ZERO, NodeId(sender as u32), range, 25, &mut rng);
         let deliveries = medium.complete(tx.id);
@@ -56,7 +72,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let field = Field::new(50.0, 50.0);
-        let mut medium = Medium::new(field, &positions, Channel::Disc, 20_000, 0.0);
+        let mut medium = Medium::new(field, &positions, Disc, 20_000, 0.0);
         let mut rng = SimRng::new(seed);
         let mut now = SimTime::ZERO;
         for (i, &gap) in gaps_ms.iter().enumerate() {
@@ -78,7 +94,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let field = Field::new(50.0, 50.0);
-        let mut medium = Medium::new(field, &positions, Channel::Disc, 20_000, loss);
+        let mut medium = Medium::new(field, &positions, Disc, 20_000, loss);
         let mut rng = SimRng::new(seed);
         let mut pending = Vec::new();
         let mut sorted = starts_ms.clone();
@@ -158,7 +174,7 @@ proptest! {
     /// delivery vectors of the retained brute-force [`ReferenceMedium`]
     /// oracle when both are driven through the same chronological schedule
     /// of overlapping broadcasts with identically-seeded RNGs — across
-    /// random topologies, loss rates and both propagation models. Each
+    /// random topologies, loss rates and all three propagation models. Each
     /// schedule entry either hits one of the two declared range classes
     /// (exercising the fast path) or an arbitrary range (exercising the
     /// grid fallback).
@@ -172,24 +188,25 @@ proptest! {
         class_rp in 1.0f64..6.0,
         class_rt in 6.0f64..15.0,
         loss in 0.0f64..0.5,
-        shadow in 0u32..2,
-        channel_seed in any::<u64>(),
+        model_pick in 0u32..3,
+        model_seed in any::<u64>(),
         rng_seed in any::<u64>(),
     ) {
         use peas_radio::reference::ReferenceMedium;
 
         let field = Field::new(50.0, 50.0);
-        let channel = if shadow == 1 {
-            Channel::shadowed(channel_seed)
-        } else {
-            Channel::Disc
+        let spec = match model_pick {
+            0 => PropagationSpec::Disc,
+            1 => PropagationSpec::shadowed(model_seed),
+            // An 11x11 lattice at 5 m pitch covers the 50 m field exactly.
+            _ => PropagationSpec::Terrain(TerrainSpec::generated(11, 11, 5.0, model_seed)),
         };
         let classes = [class_rp, class_rt];
         let mut medium = Medium::with_range_classes(
-            field, &positions, channel.clone(), 20_000, loss, &classes,
+            field, &positions, spec.build(), 20_000, loss, &classes,
         );
         let mut reference = ReferenceMedium::with_range_classes(
-            field, &positions, channel, 20_000, loss, &classes,
+            field, &positions, spec.build(), 20_000, loss, &classes,
         );
         // The loss draws follow the documented grid-order contract in both
         // implementations, so identically-seeded generators stay aligned.
@@ -265,17 +282,46 @@ proptest! {
         }
     }
 
-    /// Shadowed channels: symmetric, deterministic, and positive.
+    /// Shadowed links: symmetric, deterministic, and positive.
     #[test]
     fn shadowing_invariants(seed in any::<u64>(), a in 0u32..1_000, b in 0u32..1_000, dist in 0.1f64..50.0) {
         prop_assume!(a != b);
-        let c = Channel::shadowed(seed);
-        let d1 = c.effective_distance(NodeId(a), NodeId(b), dist);
-        let d2 = c.effective_distance(NodeId(b), NodeId(a), dist);
+        let m = LogNormalShadowing::with_defaults(seed);
+        let d1 = m.effective_distance(link(a, b, dist));
+        let d2 = m.effective_distance(link(b, a, dist));
         prop_assert_eq!(d1, d2);
         prop_assert!(d1 > 0.0 && d1.is_finite());
-        // Determinism across a fresh channel with the same seed.
-        let c2 = Channel::shadowed(seed);
-        prop_assert_eq!(d1, c2.effective_distance(NodeId(a), NodeId(b), dist));
+        // Determinism across a fresh model with the same seed.
+        let m2 = LogNormalShadowing::with_defaults(seed);
+        prop_assert_eq!(d1, m2.effective_distance(link(a, b, dist)));
+    }
+
+    /// Terrain links: symmetric, deterministic, never shorter than the
+    /// physical distance (diffraction only adds loss), and never delivered
+    /// beyond the intended range the grid was sized for (`max_reach` is the
+    /// identity, so the loss term must be non-negative).
+    #[test]
+    fn terrain_invariants(
+        raster_seed in any::<u64>(),
+        ax in 0.0f64..50.0, ay in 0.0f64..50.0,
+        bx in 0.0f64..50.0, by in 0.0f64..50.0,
+        a in 0u32..1_000, b in 0u32..1_000,
+    ) {
+        prop_assume!(a != b);
+        let spec = TerrainSpec::generated(11, 11, 5.0, raster_seed);
+        let model = PropagationSpec::Terrain(spec).build();
+        let (pa, pb) = (Point::new(ax, ay), Point::new(bx, by));
+        let dist = pa.distance(pb);
+        prop_assume!(dist > 1e-6);
+        let fwd = Link { tx: NodeId(a), rx: NodeId(b), tx_pos: pa, rx_pos: pb, distance: dist };
+        let rev = Link { tx: NodeId(b), rx: NodeId(a), tx_pos: pb, rx_pos: pa, distance: dist };
+        let d1 = model.effective_distance(fwd);
+        prop_assert_eq!(d1, model.effective_distance(rev));
+        prop_assert!(d1.is_finite());
+        prop_assert!(d1 >= dist - 1e-12, "terrain shortened a link: {d1} < {dist}");
+        prop_assert_eq!(model.max_reach(7.5), 7.5);
+        // Determinism across a fresh model built from the same spec.
+        let again = PropagationSpec::Terrain(TerrainSpec::generated(11, 11, 5.0, raster_seed)).build();
+        prop_assert_eq!(d1, again.effective_distance(fwd));
     }
 }

@@ -16,7 +16,9 @@ use crate::error::ScenarioError;
 use peas::FixedPower;
 use peas_des::time::{SimDuration, SimTime};
 use peas_geom::{Deployment, Field};
-use peas_radio::Channel;
+use peas_radio::{
+    HeightMap, PropagationSpec, TerrainSpec, DEFAULT_PATH_LOSS_EXP, DEFAULT_SIGMA_DB,
+};
 use peas_sim::{BatterySpec, EventWorkload, FailureConfig, ScenarioConfig};
 
 /// Section names the compiler understands, in application order.
@@ -25,6 +27,7 @@ pub const SECTIONS: &[&str] = &[
     "field",
     "deployment",
     "radio",
+    "terrain",
     "energy",
     "peas",
     "grab",
@@ -363,39 +366,233 @@ fn apply_deployment(doc: &ScenarioDoc, cfg: &mut ScenarioConfig) -> Result<(), S
 }
 
 fn apply_radio(doc: &ScenarioDoc, cfg: &mut ScenarioConfig) -> Result<(), ScenarioError> {
-    let Some(section) = doc.section("radio") else {
-        return Ok(());
-    };
     let mut kind: Option<(&Entry, String)> = None;
-    let mut path_loss_exp = 3.0;
-    let mut sigma_db = 4.0;
+    let mut path_loss_exp = DEFAULT_PATH_LOSS_EXP;
+    let mut sigma_db = DEFAULT_SIGMA_DB;
     let mut channel_seed = 0u64;
-    for e in &section.entries {
-        match e.key.as_str() {
-            "channel" => kind = Some((e, get_str("radio", e)?)),
-            "path_loss_exp" => path_loss_exp = get_f64("radio", e)?,
-            "sigma_db" => sigma_db = get_f64("radio", e)?,
-            "channel_seed" => channel_seed = get_u64("radio", e)?,
-            _ => return Err(unknown_key("radio", e)),
+    if let Some(section) = doc.section("radio") {
+        for e in &section.entries {
+            match e.key.as_str() {
+                // `model` is the canonical spelling; `channel` is the
+                // pre-trait alias kept so existing scenarios stay valid.
+                "model" | "channel" => kind = Some((e, get_str("radio", e)?)),
+                "path_loss_exp" => path_loss_exp = get_f64("radio", e)?,
+                "sigma_db" => sigma_db = get_f64("radio", e)?,
+                "channel_seed" => channel_seed = get_u64("radio", e)?,
+                _ => return Err(unknown_key("radio", e)),
+            }
+        }
+    }
+    let terrain_requested = match &kind {
+        Some((_, kind)) => kind == "terrain",
+        None => false,
+    };
+    if !terrain_requested {
+        if let Some(terrain) = doc.section("terrain") {
+            return Err(ScenarioError::at(
+                terrain.span,
+                "a [terrain] section requires `model = \"terrain\"` in [radio]",
+            ));
         }
     }
     if let Some((entry, kind)) = kind {
-        cfg.channel = match kind.as_str() {
-            "disc" => Channel::Disc,
-            "shadowed" => Channel::Shadowed {
+        cfg.propagation = match kind.as_str() {
+            "disc" => PropagationSpec::Disc,
+            "shadowed" => PropagationSpec::Shadowed {
                 path_loss_exp,
                 sigma_db,
                 seed: channel_seed,
             },
+            "terrain" => compile_terrain(doc, entry, path_loss_exp)?,
             other => {
                 return Err(ScenarioError::at(
                     entry.span,
-                    format!("unknown channel `{other}` (expected \"disc\" or \"shadowed\")"),
+                    format!(
+                        "unknown propagation model `{other}` (expected \"disc\", \"shadowed\" or \"terrain\")"
+                    ),
                 ))
             }
         };
     }
     Ok(())
+}
+
+/// Compiles a `[terrain]` section into a [`PropagationSpec::Terrain`].
+/// `model_entry` is the `[radio] model = "terrain"` entry, blamed when the
+/// section is missing; `path_loss_exp` comes from `[radio]` so both
+/// stochastic and terrain models share one exponent key.
+fn compile_terrain(
+    doc: &ScenarioDoc,
+    model_entry: &Entry,
+    path_loss_exp: f64,
+) -> Result<PropagationSpec, ScenarioError> {
+    let Some(section) = doc.section("terrain") else {
+        return Err(ScenarioError::at(
+            model_entry.span,
+            "model \"terrain\" requires a [terrain] section",
+        ));
+    };
+    let mut cols: Option<(&Entry, usize)> = None;
+    let mut rows: Option<(&Entry, usize)> = None;
+    let mut cell_size: Option<(&Entry, f64)> = None;
+    let mut heights: Option<(&Entry, Vec<f64>)> = None;
+    let mut seed: Option<(&Entry, u64)> = None;
+    let mut amplitude: Option<(&Entry, f64)> = None;
+    let mut hills: Option<usize> = None;
+    let mut diffraction: Option<(&Entry, f64)> = None;
+    let mut antenna_height: Option<(&Entry, f64)> = None;
+    let mut wavelength: Option<(&Entry, f64)> = None;
+    for e in &section.entries {
+        match e.key.as_str() {
+            "cols" => cols = Some((e, get_usize("terrain", e)?)),
+            "rows" => rows = Some((e, get_usize("terrain", e)?)),
+            "cell_size" => cell_size = Some((e, get_f64("terrain", e)?)),
+            "heights" => {
+                let values = get_list("terrain", e)?
+                    .iter()
+                    .map(|v| match v {
+                        Value::Float(x) => Ok(*x),
+                        Value::Int(i) => Ok(*i as f64),
+                        other => Err(type_error("terrain", e, "a list of numbers", other)),
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?;
+                heights = Some((e, values));
+            }
+            "seed" => seed = Some((e, get_u64("terrain", e)?)),
+            "amplitude" => amplitude = Some((e, get_f64("terrain", e)?)),
+            "hills" => hills = Some(get_usize("terrain", e)?),
+            "diffraction" => diffraction = Some((e, get_f64("terrain", e)?)),
+            "antenna_height" => antenna_height = Some((e, get_f64("terrain", e)?)),
+            "wavelength" => wavelength = Some((e, get_f64("terrain", e)?)),
+            _ => return Err(unknown_key("terrain", e)),
+        }
+    }
+
+    let missing =
+        |key: &str| ScenarioError::at(section.span, format!("missing key `{key}` in [terrain]"));
+    let (cols_entry, cols) = cols.ok_or_else(|| missing("cols"))?;
+    let (rows_entry, rows) = rows.ok_or_else(|| missing("rows"))?;
+    let (cell_entry, cell) = cell_size.ok_or_else(|| missing("cell_size"))?;
+    if cols < 2 {
+        return Err(ScenarioError::at(
+            cols_entry.span,
+            format!("terrain `cols` must be at least 2, got {cols}"),
+        ));
+    }
+    if rows < 2 {
+        return Err(ScenarioError::at(
+            rows_entry.span,
+            format!("terrain `rows` must be at least 2, got {rows}"),
+        ));
+    }
+    if !(cell.is_finite() && cell > 0.0) {
+        return Err(ScenarioError::at(
+            cell_entry.span,
+            format!("terrain `cell_size` must be positive, got {cell}"),
+        ));
+    }
+
+    let height_map = match (&heights, &seed) {
+        (Some((entry, _)), Some(_)) => {
+            return Err(ScenarioError::at(
+                entry.span,
+                "terrain heights are either inline (`heights`) or generated (`seed`), not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ScenarioError::at(
+                section.span,
+                "terrain needs a height map: inline `heights` or a generator `seed`",
+            ))
+        }
+        (Some((entry, values)), None) => {
+            if let Some((key, _)) = [
+                ("amplitude", amplitude.is_some()),
+                ("hills", hills.is_some()),
+            ]
+            .into_iter()
+            .find(|&(_, set)| set)
+            {
+                return Err(ScenarioError::at(
+                    entry.span,
+                    format!("terrain `{key}` only applies to generated heights (`seed`)"),
+                ));
+            }
+            let want = cols * rows;
+            if values.len() != want {
+                return Err(ScenarioError::at(
+                    entry.span,
+                    format!(
+                        "terrain `heights` has {} samples but {cols} cols x {rows} rows = {want}",
+                        values.len()
+                    ),
+                ));
+            }
+            if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+                return Err(ScenarioError::at(
+                    entry.span,
+                    format!("terrain `heights` sample {i} is not finite"),
+                ));
+            }
+            HeightMap::Inline(values.clone())
+        }
+        (None, Some((_, seed))) => {
+            if let Some((entry, a)) = amplitude {
+                if !(a.is_finite() && a >= 0.0) {
+                    return Err(ScenarioError::at(
+                        entry.span,
+                        format!("terrain `amplitude` must be finite and non-negative, got {a}"),
+                    ));
+                }
+            }
+            // Defaults for amplitude/hills live in `TerrainSpec::generated`.
+            let HeightMap::Generated {
+                amplitude: default_amplitude,
+                hills: default_hills,
+                ..
+            } = TerrainSpec::generated(cols, rows, cell, *seed).heights
+            else {
+                unreachable!("TerrainSpec::generated always yields generated heights")
+            };
+            HeightMap::Generated {
+                seed: *seed,
+                amplitude: amplitude.map_or(default_amplitude, |(_, a)| a),
+                hills: hills.unwrap_or(default_hills),
+            }
+        }
+    };
+
+    let mut spec = TerrainSpec::generated(cols, rows, cell, 0);
+    spec.heights = height_map;
+    spec.path_loss_exp = path_loss_exp;
+    if let Some((entry, d)) = diffraction {
+        if !(d.is_finite() && d >= 0.0) {
+            return Err(ScenarioError::at(
+                entry.span,
+                format!("terrain `diffraction` must be finite and non-negative, got {d}"),
+            ));
+        }
+        spec.diffraction = d;
+    }
+    if let Some((entry, h)) = antenna_height {
+        if !(h.is_finite() && h >= 0.0) {
+            return Err(ScenarioError::at(
+                entry.span,
+                format!("terrain `antenna_height` must be finite and non-negative, got {h}"),
+            ));
+        }
+        spec.antenna_height = h;
+    }
+    if let Some((entry, w)) = wavelength {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(ScenarioError::at(
+                entry.span,
+                format!("terrain `wavelength` must be positive, got {w}"),
+            ));
+        }
+        spec.wavelength = w;
+    }
+    Ok(PropagationSpec::Terrain(spec))
 }
 
 fn apply_energy(doc: &ScenarioDoc, cfg: &mut ScenarioConfig) -> Result<(), ScenarioError> {
@@ -910,11 +1107,69 @@ enabled = false
         assert_eq!(c.base.seed, 7);
         assert_eq!(c.base.horizon, SimTime::from_secs(1500));
         assert_eq!(c.base.loss_rate, 0.05);
-        assert_eq!(c.base.channel, Channel::shadowed(7));
+        assert_eq!(c.base.propagation, PropagationSpec::shadowed(7));
         assert_eq!(c.base.peas.probing_range, 6.0);
         assert!(!c.base.peas.turnoff_enabled);
         assert_eq!(c.base.failure, None);
         assert_eq!(c.base.grab, None);
+    }
+
+    #[test]
+    fn terrain_model_compiles_from_its_section() {
+        let src = "\
+[deployment]
+count = 60
+
+[radio]
+model = \"terrain\"
+path_loss_exp = 2.5
+
+[terrain]
+cols = 11
+rows = 11
+cell_size = 5.0
+seed = 9
+amplitude = 12.0
+hills = 5
+diffraction = 0.8
+";
+        let c = compile_src(src).expect("compiles");
+        let mut want = TerrainSpec::generated(11, 11, 5.0, 9);
+        want.heights = HeightMap::Generated {
+            seed: 9,
+            amplitude: 12.0,
+            hills: 5,
+        };
+        want.path_loss_exp = 2.5;
+        want.diffraction = 0.8;
+        assert_eq!(c.base.propagation, PropagationSpec::Terrain(want));
+    }
+
+    #[test]
+    fn terrain_heights_can_be_inline() {
+        let src = "\
+[deployment]
+count = 20
+
+[field]
+width = 10.0
+height = 10.0
+
+[radio]
+model = \"terrain\"
+
+[terrain]
+cols = 2
+rows = 2
+cell_size = 10.0
+heights = [0.0, 4.0, 4.0, 0.0]
+";
+        let c = compile_src(src).expect("compiles");
+        let PropagationSpec::Terrain(spec) = &c.base.propagation else {
+            panic!("expected a terrain spec, got {:?}", c.base.propagation);
+        };
+        assert_eq!(spec.heights, HeightMap::Inline(vec![0.0, 4.0, 4.0, 0.0]));
+        assert_eq!(spec.path_loss_exp, DEFAULT_PATH_LOSS_EXP);
     }
 
     #[test]

@@ -64,6 +64,94 @@ fn missing_deployment_section_is_reported() {
 }
 
 #[test]
+fn terrain_section_requires_the_terrain_model() {
+    let err = compile_err("[deployment]\ncount = 60\n\n[terrain]\ncols = 11\n");
+    assert_eq!(
+        err.message,
+        "a [terrain] section requires `model = \"terrain\"` in [radio]"
+    );
+    assert_eq!((err.line, err.column), (4, 1));
+
+    let err = compile_err("[deployment]\ncount = 60\n\n[radio]\nmodel = \"terrain\"\n");
+    assert_eq!(
+        err.message,
+        "model \"terrain\" requires a [terrain] section"
+    );
+    assert_eq!((err.line, err.column), (5, 1));
+}
+
+#[test]
+fn unknown_propagation_model_lists_the_choices() {
+    let err = compile_err("[deployment]\ncount = 60\n\n[radio]\nmodel = \"fresnel\"\n");
+    assert_eq!(
+        err.message,
+        "unknown propagation model `fresnel` (expected \"disc\", \"shadowed\" or \"terrain\")"
+    );
+    assert_eq!((err.line, err.column), (5, 1));
+}
+
+/// Every `[terrain]` key points its diagnostic at the offending line.
+#[test]
+fn malformed_terrain_rasters_are_reported_at_the_key() {
+    let terrain = |body: &str| {
+        format!("[deployment]\ncount = 60\n\n[radio]\nmodel = \"terrain\"\n\n[terrain]\n{body}")
+    };
+
+    let err = compile_err(&terrain("cols = 11\nrows = 11\n"));
+    assert_eq!(err.message, "missing key `cell_size` in [terrain]");
+    assert_eq!((err.line, err.column), (7, 1));
+
+    let err = compile_err(&terrain(
+        "cols = 11\nrows = 11\ncell_size = 0.0\nseed = 1\n",
+    ));
+    assert_eq!(err.message, "terrain `cell_size` must be positive, got 0");
+    assert_eq!((err.line, err.column), (10, 1));
+
+    let err = compile_err(&terrain("cols = 1\nrows = 11\ncell_size = 5.0\nseed = 1\n"));
+    assert_eq!(err.message, "terrain `cols` must be at least 2, got 1");
+    assert_eq!((err.line, err.column), (8, 1));
+
+    let err = compile_err(&terrain(
+        "cols = 2\nrows = 2\ncell_size = 5.0\nheights = [0.0, 1.0, 2.0]\n",
+    ));
+    assert_eq!(
+        err.message,
+        "terrain `heights` has 3 samples but 2 cols x 2 rows = 4"
+    );
+    assert_eq!((err.line, err.column), (11, 1));
+
+    let err = compile_err(&terrain(
+        "cols = 2\nrows = 2\ncell_size = 5.0\nheights = [0.0, 1.0, 2.0, 3.0]\nseed = 4\n",
+    ));
+    assert_eq!(
+        err.message,
+        "terrain heights are either inline (`heights`) or generated (`seed`), not both"
+    );
+
+    let err = compile_err(&terrain("cols = 2\nrows = 2\ncell_size = 5.0\n"));
+    assert_eq!(
+        err.message,
+        "terrain needs a height map: inline `heights` or a generator `seed`"
+    );
+    assert_eq!((err.line, err.column), (7, 1));
+}
+
+#[test]
+fn terrain_raster_must_cover_the_field() {
+    // 6x6 at 5 m spans 25 m; the default paper field is 50 x 50 m.
+    let err = compile_err(
+        "[deployment]\ncount = 60\n\n[radio]\nmodel = \"terrain\"\n\n\
+         [terrain]\ncols = 6\nrows = 6\ncell_size = 5.0\nseed = 1\n",
+    );
+    assert!(
+        err.message
+            .starts_with("invalid scenario: terrain raster spans"),
+        "{}",
+        err.message
+    );
+}
+
+#[test]
 fn bad_unit_suffix_lists_the_accepted_units() {
     let err = parse("[scenario]\nhorizon = 3m\n").expect_err("bad suffix");
     assert_eq!(

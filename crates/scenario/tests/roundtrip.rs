@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 
 use peas_des::time::SimDuration;
-use peas_scenario::{parse, print, Entry, Extends, ScenarioDoc, Section, Span, Value};
+use peas_radio::PropagationSpec;
+use peas_scenario::{compile, parse, print, Entry, Extends, ScenarioDoc, Section, Span, Value};
 
 /// A lowercase identifier usable as a key, section name or string value.
 fn arb_ident() -> impl Strategy<Value = String> {
@@ -86,6 +87,85 @@ fn arb_doc() -> impl Strategy<Value = ScenarioDoc> {
         })
 }
 
+fn entry(key: &str, value: Value) -> Entry {
+    Entry {
+        key: key.to_string(),
+        value,
+        span: Span::default(),
+    }
+}
+
+fn section(name: &str, entries: Vec<Entry>) -> Section {
+    Section {
+        name: name.to_string(),
+        entries,
+        span: Span::default(),
+    }
+}
+
+/// A well-formed terrain scenario: the raster lattice exactly spans the
+/// declared field, heights are either an inline list of the right length
+/// (drawn from a fixed-size pool) or generator parameters.
+fn arb_terrain_doc() -> impl Strategy<Value = ScenarioDoc> {
+    (
+        (
+            2usize..6,
+            2usize..6,
+            1.0f64..10.0,
+            prop::collection::vec(-50.0f64..50.0, 25..26),
+        ),
+        (
+            any::<bool>(),
+            0i64..1_000_000,
+            prop::option::of(0.0f64..20.0),
+            prop::option::of(1usize..10),
+            prop::option::of(0.0f64..3.0),
+        ),
+    )
+        .prop_map(
+            |((cols, rows, cell, pool), (inline, seed, amplitude, hills, diffraction))| {
+                let mut terrain = vec![
+                    entry("cols", Value::Int(cols as i64)),
+                    entry("rows", Value::Int(rows as i64)),
+                    entry("cell_size", Value::Float(cell)),
+                ];
+                if inline {
+                    let values = pool[..cols * rows].iter().copied().map(Value::Float);
+                    terrain.push(entry("heights", Value::List(values.collect())));
+                } else {
+                    terrain.push(entry("seed", Value::Int(seed)));
+                    if let Some(a) = amplitude {
+                        terrain.push(entry("amplitude", Value::Float(a)));
+                    }
+                    if let Some(h) = hills {
+                        terrain.push(entry("hills", Value::Int(h as i64)));
+                    }
+                }
+                if let Some(d) = diffraction {
+                    terrain.push(entry("diffraction", Value::Float(d)));
+                }
+                ScenarioDoc {
+                    extends: None,
+                    sections: vec![
+                        section("deployment", vec![entry("count", Value::Int(30))]),
+                        section(
+                            "field",
+                            vec![
+                                entry("width", Value::Float((cols - 1) as f64 * cell)),
+                                entry("height", Value::Float((rows - 1) as f64 * cell)),
+                            ],
+                        ),
+                        section(
+                            "radio",
+                            vec![entry("model", Value::Str("terrain".to_string()))],
+                        ),
+                        section("terrain", terrain),
+                    ],
+                }
+            },
+        )
+}
+
 proptest! {
     /// The round-trip law: printing then parsing recovers the document
     /// exactly (spans excluded — equality ignores them by design).
@@ -103,5 +183,26 @@ proptest! {
         let printed = print(&doc);
         let reprinted = print(&parse(&printed).expect("canonical form parses"));
         prop_assert_eq!(reprinted, printed);
+    }
+
+    /// `[terrain]` sections obey the round-trip law, and — stronger — the
+    /// reparsed document compiles to the identical propagation spec, so a
+    /// scenario printed by tooling can never silently change its raster.
+    #[test]
+    fn terrain_docs_round_trip_through_print_and_compile(doc in arb_terrain_doc()) {
+        let printed = print(&doc);
+        let reparsed = parse(&printed);
+        prop_assert!(reparsed.is_ok(), "printed terrain doc failed to parse: {printed:?}");
+        let reparsed = reparsed.expect("checked above");
+        prop_assert_eq!(&reparsed, &doc);
+
+        let direct = compile(&doc, "t").expect("valid terrain doc compiles");
+        let round_tripped = compile(&reparsed, "t").expect("reparsed doc compiles");
+        prop_assert!(
+            matches!(direct.base.propagation, PropagationSpec::Terrain(_)),
+            "expected a terrain spec, got {:?}",
+            direct.base.propagation
+        );
+        prop_assert_eq!(direct.base.propagation, round_tripped.base.propagation);
     }
 }

@@ -24,7 +24,7 @@ use std::process::ExitCode;
 
 use peas::PeasConfig;
 use peas_des::time::SimTime;
-use peas_radio::Channel;
+use peas_radio::PropagationSpec;
 use peas_sim::ScenarioConfig;
 
 struct Args {
@@ -149,7 +149,7 @@ fn main() -> ExitCode {
         config.grab = None;
     }
     if args.shadowed {
-        config.channel = Channel::shadowed(args.seed);
+        config.propagation = PropagationSpec::shadowed(args.seed);
     }
     if let Err(e) = config.validate() {
         eprintln!("error: {e}");

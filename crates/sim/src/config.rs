@@ -4,7 +4,7 @@ use peas::PeasConfig;
 use peas_des::time::{SimDuration, SimTime};
 use peas_geom::{Deployment, Field};
 use peas_grab::GrabConfig;
-use peas_radio::{Channel, PowerProfile};
+use peas_radio::{PowerProfile, PropagationSpec};
 
 /// How node batteries are initialized.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -120,8 +120,10 @@ pub struct ScenarioConfig {
     pub grab: Option<GrabConfig>,
     /// Event-detection workload; requires `grab` to be enabled.
     pub events: Option<EventWorkload>,
-    /// Propagation model.
-    pub channel: Channel,
+    /// Propagation model recipe; built into a
+    /// [`PropagationModel`](peas_radio::PropagationModel) at world
+    /// construction.
+    pub propagation: PropagationSpec,
     /// Radio bitrate, bits/second.
     pub bitrate_bps: u64,
     /// Uniform frame loss probability.
@@ -152,7 +154,7 @@ impl ScenarioConfig {
             peas: PeasConfig::paper(),
             grab: Some(GrabConfig::paper()),
             events: None,
-            channel: Channel::Disc,
+            propagation: PropagationSpec::Disc,
             bitrate_bps: 20_000,
             loss_rate: 0.0,
             power: PowerProfile::motes(),
@@ -225,6 +227,19 @@ impl ScenarioConfig {
         }
         if self.bitrate_bps == 0 {
             return Err("bitrate_bps must be positive".into());
+        }
+        self.propagation.validate()?;
+        if let PropagationSpec::Terrain(t) = &self.propagation {
+            let w = (t.cols - 1) as f64 * t.cell_size;
+            let h = (t.rows - 1) as f64 * t.cell_size;
+            if w + 1e-9 < self.field.width() || h + 1e-9 < self.field.height() {
+                return Err(format!(
+                    "terrain raster spans {w} x {h} m but the field is {} x {} m; \
+                     every node must sit on the raster",
+                    self.field.width(),
+                    self.field.height()
+                ));
+            }
         }
         if self.metrics.sample_period.is_zero() {
             return Err("sample_period must be positive".into());
@@ -321,6 +336,25 @@ mod tests {
         assert!(err.contains("u32 node-id space"), "{err}");
         c.node_count = (u32::MAX - 2) as usize;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn terrain_raster_must_cover_the_field() {
+        use peas_radio::TerrainSpec;
+
+        let mut c = ScenarioConfig::paper(60);
+        // 11 x 11 lattice at 5 m pitch spans the 50 x 50 m paper field.
+        c.propagation = PropagationSpec::Terrain(TerrainSpec::generated(11, 11, 5.0, 3));
+        assert!(c.validate().is_ok());
+        // 6 x 6 at the same pitch only spans 25 m: nodes would fall off it.
+        c.propagation = PropagationSpec::Terrain(TerrainSpec::generated(6, 6, 5.0, 3));
+        let err = c.validate().expect_err("must reject");
+        assert!(err.contains("terrain raster spans"), "{err}");
+        // An invalid spec is caught before the coverage check.
+        let mut bad = TerrainSpec::generated(11, 11, 5.0, 3);
+        bad.cell_size = 0.0;
+        c.propagation = PropagationSpec::Terrain(bad);
+        assert!(c.validate().is_err());
     }
 
     #[test]

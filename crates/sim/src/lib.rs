@@ -46,8 +46,6 @@ pub use job::{JobOutcome, JobProgress, JobSource, JobSpec, JOB_SCHEMA};
 pub use metrics::{RunReport, Sample};
 pub use report_json::{decode_report, encode_report, REPORT_SCHEMA};
 pub use runner::{average_metric, AveragedPoint, Runner};
-#[allow(deprecated)]
-pub use runner::{run_configs_parallel, run_one, run_seeds, run_seeds_parallel};
 pub use session::{
     config_fingerprint, enumerate_shards, fnv1a, SessionError, Shard, ShardKey, SweepSession,
 };

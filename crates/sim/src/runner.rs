@@ -4,9 +4,7 @@
 //! The paper averages every data point over 5 simulation runs
 //! (Section 5.2); `Runner::new(cfg).seeds(&SEEDS).run()` reproduces that:
 //! one [`World`] per (config, seed) job, executed on a bounded worker
-//! pool, reports returned in job order. The historical free functions
-//! (`run_one`, `run_seeds`, `run_seeds_parallel`, `run_configs_parallel`)
-//! remain as thin `#[deprecated]` shims over the facade.
+//! pool, reports returned in job order.
 
 use peas_analysis::Summary;
 
@@ -172,49 +170,6 @@ impl Runner {
     }
 }
 
-/// Runs the scenario once.
-#[deprecated(note = "use the `Runner` facade: `Runner::new(config).run_single()`")]
-pub fn run_one(config: ScenarioConfig) -> RunReport {
-    Runner::new(config).run_single()
-}
-
-/// Runs the scenario once per seed, serially (the paper uses 5 seeds per
-/// point).
-///
-/// # Panics
-///
-/// Panics if `seeds` is empty.
-#[deprecated(
-    note = "use the `Runner` facade: `Runner::new(config).seeds(seeds).parallelism(1).run()`"
-)]
-pub fn run_seeds(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
-    Runner::new(config.clone())
-        .seeds(seeds)
-        .parallelism(1)
-        .run()
-}
-
-/// Like [`run_seeds`], but on the bounded worker pool.
-///
-/// # Panics
-///
-/// Panics if `seeds` is empty.
-#[deprecated(note = "use the `Runner` facade: `Runner::new(config).seeds(seeds).run()`")]
-pub fn run_seeds_parallel(config: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
-    Runner::new(config.clone()).seeds(seeds).run()
-}
-
-/// Runs every scenario on the bounded worker pool, returning the reports
-/// in input order.
-///
-/// # Panics
-///
-/// Panics if any individual run panics.
-#[deprecated(note = "use the `Runner` facade: `Runner::configs(configs).run()`")]
-pub fn run_configs_parallel(configs: Vec<ScenarioConfig>) -> Vec<RunReport> {
-    Runner::configs(configs).run()
-}
-
 /// One averaged figure point.
 #[derive(Clone, Debug)]
 pub struct AveragedPoint {
@@ -368,25 +323,5 @@ mod tests {
             assert_eq!(a.node_stats, b.node_stats);
             assert_eq!(a.medium, b.medium);
         }
-    }
-
-    /// The pre-facade free functions must keep compiling and agreeing with
-    /// the facade (they are `#[deprecated]` shims, not removed API).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let config = tiny();
-        let one = run_one(config.clone().with_seed(3));
-        assert_eq!(one.seed, 3);
-        let serial = run_seeds(&config, &[3, 4]);
-        let parallel = run_seeds_parallel(&config, &[3, 4]);
-        let via_configs =
-            run_configs_parallel(vec![config.clone().with_seed(3), config.with_seed(4)]);
-        assert_eq!(serial.len(), 2);
-        for ((a, b), c) in serial.iter().zip(&parallel).zip(&via_configs) {
-            assert_eq!(a.samples, b.samples);
-            assert_eq!(a.samples, c.samples);
-        }
-        assert_eq!(one.samples, serial[0].samples);
     }
 }

@@ -359,7 +359,7 @@ impl World {
         let medium = Medium::with_range_classes(
             config.field,
             &positions,
-            config.channel.clone(),
+            config.propagation.build(),
             config.bitrate_bps,
             config.loss_rate,
             &range_classes,

@@ -9,7 +9,7 @@
 //! printed in the failure message.
 
 use peas_repro::des::time::SimTime;
-use peas_repro::radio::Channel;
+use peas_repro::radio::PropagationSpec;
 // The fingerprint definition lives in peas-scenario's conformance layer
 // now — one canonical encoding shared by this test, the `.peas` golden
 // snapshots and the `scenario` driver binary.
@@ -41,7 +41,7 @@ fn small_scenario_fingerprint_is_stable() {
 fn shadowed_scenario_fingerprint_is_stable() {
     let mut config = ScenarioConfig::paper(100).with_seed(2024);
     config.horizon = SimTime::from_secs(1_500);
-    config.channel = Channel::shadowed(7);
+    config.propagation = PropagationSpec::shadowed(7);
     config.loss_rate = 0.05;
     let report = Runner::new(config).run_single();
     let fp = sample_fingerprint(&report);

@@ -250,7 +250,7 @@ fn single_node_network_works_until_death() {
 
 #[test]
 fn combined_stress_loss_shadowing_failures() {
-    use peas_repro::radio::Channel;
+    use peas_repro::radio::PropagationSpec;
     // Everything hostile at once: 15% loss, shadowed channel, heavy
     // failures, fixed transmission power. The network must still elect and
     // sustain a working set with real coverage.
@@ -258,7 +258,7 @@ fn combined_stress_loss_shadowing_failures() {
         .with_seed(55)
         .with_failure_rate(40.0);
     c.loss_rate = 0.15;
-    c.channel = Channel::shadowed(55);
+    c.propagation = PropagationSpec::shadowed(55);
     c.peas = PeasConfig::builder().fixed_power(10.0).build();
     c.horizon = SimTime::from_secs(2_000);
     let report = Runner::new(c).run_single();

@@ -70,6 +70,7 @@ fn corpus_contains_the_documented_scenarios() {
         "smoke.peas",
         "sweep-smoke.peas",
         "table1.peas",
+        "terrain.peas",
     ];
     let actual: Vec<String> = corpus_paths()
         .iter()
